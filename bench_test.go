@@ -1,0 +1,315 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5), one benchmark per artifact, plus micro-benchmarks for the
+// core algorithms. Each figure benchmark executes its experiment driver at
+// a reduced scale so the full suite stays laptop-sized; run
+// cmd/experiments with -scale for larger, paper-shaped sweeps.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/incremental"
+	"repro/internal/isomorphism"
+	"repro/internal/simulation"
+)
+
+// benchConfig keeps per-iteration work small: ~100-500-node graphs.
+func benchConfig() experiments.Config {
+	c := experiments.Defaults()
+	c.Scale = 0.05
+	c.Trials = 1
+	c.VF2MaxEmbeddings = 5000
+	c.VF2MaxSteps = 5_000_000
+	return c
+}
+
+func benchTable(b *testing.B, run func() (*experiments.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 7(c)-(e): closeness vs |Vq|.
+func BenchmarkFig7cClosenessVqAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryVq(experiments.Amazon) })
+}
+
+func BenchmarkFig7dClosenessVqYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryVq(experiments.YouTube) })
+}
+
+func BenchmarkFig7eClosenessVqSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryVq(experiments.Synthetic) })
+}
+
+// Figures 7(f)-(h): closeness vs |V|.
+func BenchmarkFig7fClosenessVAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryV(experiments.Amazon) })
+}
+
+func BenchmarkFig7gClosenessVYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryV(experiments.YouTube) })
+}
+
+func BenchmarkFig7hClosenessVSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.ClosenessVaryV(experiments.Synthetic) })
+}
+
+// Figures 7(i)-(k): #matched subgraphs vs |Vq|.
+func BenchmarkFig7iSubgraphsVqAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryVq(experiments.Amazon) })
+}
+
+func BenchmarkFig7jSubgraphsVqYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryVq(experiments.YouTube) })
+}
+
+func BenchmarkFig7kSubgraphsVqSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryVq(experiments.Synthetic) })
+}
+
+// Figures 7(l)-(n): #matched subgraphs vs |V|.
+func BenchmarkFig7lSubgraphsVAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryV(experiments.Amazon) })
+}
+
+func BenchmarkFig7mSubgraphsVYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryV(experiments.YouTube) })
+}
+
+func BenchmarkFig7nSubgraphsVSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.SubgraphsVaryV(experiments.Synthetic) })
+}
+
+// Figures 8(a)-(c): time vs |Vq|.
+func BenchmarkFig8aPerfVqAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryVq(experiments.Amazon) })
+}
+
+func BenchmarkFig8bPerfVqYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryVq(experiments.YouTube) })
+}
+
+func BenchmarkFig8cPerfVqSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryVq(experiments.Synthetic) })
+}
+
+// Figure 8(d): time vs pattern density αq.
+func BenchmarkFig8dPerfAlphaQ(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, c.PerfVaryAlphaQ)
+}
+
+// Figures 8(e)-(g): time vs |V|.
+func BenchmarkFig8ePerfVAmazon(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryV(experiments.Amazon) })
+}
+
+func BenchmarkFig8fPerfVYouTube(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryV(experiments.YouTube) })
+}
+
+func BenchmarkFig8gPerfVSynthetic(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.PerfVaryV(experiments.Synthetic) })
+}
+
+// Figure 8(h): time vs data density α.
+func BenchmarkFig8hPerfAlpha(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, c.PerfVaryAlpha)
+}
+
+// Table 2: topology-preservation matrix.
+func BenchmarkTable2Preservation(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, c.Table2)
+}
+
+// Table 3: match-size histogram.
+func BenchmarkTable3Sizes(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, c.Table3Sizes)
+}
+
+// Section 4.2 ablation backing the Match+ vs Match claim.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	c := benchConfig()
+	benchTable(b, func() (*experiments.Table, error) { return c.Ablation(experiments.Synthetic) })
+}
+
+// --- Micro-benchmarks for the individual algorithms -----------------------
+
+// benchWorkload builds a fixed mid-size workload shared by the micro
+// benchmarks.
+func benchWorkload(b *testing.B) (q, g *graph.Graph) {
+	b.Helper()
+	g = generator.Synthetic(20000, 1.2, 50, 7)
+	q = generator.SamplePattern(g, generator.PatternOptions{Nodes: 8, Alpha: 1.2, Seed: 9})
+	return q, g
+}
+
+func BenchmarkDualSimulation(b *testing.B) {
+	q, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := simulation.Dual(q, g); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkGraphSimulation(b *testing.B) {
+	q, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := simulation.Simulation(q, g); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkMatchPlain(b *testing.B) {
+	q, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatchWith(q, g, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchPlus(b *testing.B) {
+	q, g := benchWorkload(b)
+	opts := core.PlusOptions()
+	opts.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatchWith(q, g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchPlusParallel(b *testing.B) {
+	q, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatchPlus(q, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVF2(b *testing.B) {
+	q, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := isomorphism.FindAll(q, g, isomorphism.Options{MaxEmbeddings: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeQuery(b *testing.B) {
+	q5 := benchMinQPattern()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MinimizeQuery(q5)
+	}
+}
+
+func benchMinQPattern() *graph.Graph {
+	// A pattern with heavy redundancy: one root fanning to 8 equivalent
+	// chains.
+	bldr := graph.NewBuilder(nil)
+	r := bldr.AddNode("R")
+	for i := 0; i < 8; i++ {
+		a := bldr.AddNode("A")
+		bn := bldr.AddNode("B")
+		cn := bldr.AddNode("C")
+		_ = bldr.AddEdge(r, a)
+		_ = bldr.AddEdge(a, bn)
+		_ = bldr.AddEdge(bn, cn)
+	}
+	return bldr.Build()
+}
+
+func BenchmarkDistributedMatch(b *testing.B) {
+	g := generator.Synthetic(5000, 1.2, 50, 7)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 5, Alpha: 1.2, Seed: 9})
+	cluster, err := distributed.NewCluster(g, distributed.PartitionBFS(g, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cluster.Match(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalUpdate(b *testing.B) {
+	g := generator.Synthetic(5000, 1.2, 50, 7)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 5, Alpha: 1.2, Seed: 9})
+	m, err := incremental.New(q, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(i % g.NumNodes())
+		v := int32((i*7 + 1) % g.NumNodes())
+		if err := m.InsertEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.DeleteEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBallConstruction(b *testing.B) {
+	_, g := benchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.NewBall(g, int32(i%g.NumNodes()), 3)
+	}
+}

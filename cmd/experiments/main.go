@@ -1,0 +1,116 @@
+// Experiments regenerates the paper's tables and figures (Section 5).
+//
+// Examples:
+//
+//	experiments -all                # every figure and table, laptop scale
+//	experiments -fig 7c             # closeness vs |Vq| on Amazon
+//	experiments -fig 8d             # time vs pattern density
+//	experiments -table 2            # the topology-preservation matrix
+//	experiments -table 3            # match-size histogram
+//	experiments -ablation           # Section 4.2 optimization ablation
+//	experiments -all -scale 10      # approach the paper's sizes
+//
+// Output is a text table per artifact; EXPERIMENTS.md records a captured
+// run against the paper's reported numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig      = flag.String("fig", "", "figure id: 7c..7n, 8a..8h")
+		table    = flag.String("table", "", "table id: 2 or 3")
+		ablation = flag.Bool("ablation", false, "run the Section 4.2 optimization ablation")
+		all      = flag.Bool("all", false, "run everything")
+		scale    = flag.Float64("scale", 1.0, "size multiplier (≈10 approaches the paper's sizes)")
+		trials   = flag.Int("trials", 3, "patterns averaged per data point")
+		seed     = flag.Int64("seed", 2011, "workload seed")
+		workers  = flag.Int("workers", 1, "matcher parallelism (1 = paper-faithful sequential)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Defaults()
+	cfg.Scale = *scale
+	cfg.Trials = *trials
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	type job struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	jobs := []job{
+		{"7c", func() (*experiments.Table, error) { return cfg.ClosenessVaryVq(experiments.Amazon) }},
+		{"7d", func() (*experiments.Table, error) { return cfg.ClosenessVaryVq(experiments.YouTube) }},
+		{"7e", func() (*experiments.Table, error) { return cfg.ClosenessVaryVq(experiments.Synthetic) }},
+		{"7f", func() (*experiments.Table, error) { return cfg.ClosenessVaryV(experiments.Amazon) }},
+		{"7g", func() (*experiments.Table, error) { return cfg.ClosenessVaryV(experiments.YouTube) }},
+		{"7h", func() (*experiments.Table, error) { return cfg.ClosenessVaryV(experiments.Synthetic) }},
+		{"7i", func() (*experiments.Table, error) { return cfg.SubgraphsVaryVq(experiments.Amazon) }},
+		{"7j", func() (*experiments.Table, error) { return cfg.SubgraphsVaryVq(experiments.YouTube) }},
+		{"7k", func() (*experiments.Table, error) { return cfg.SubgraphsVaryVq(experiments.Synthetic) }},
+		{"7l", func() (*experiments.Table, error) { return cfg.SubgraphsVaryV(experiments.Amazon) }},
+		{"7m", func() (*experiments.Table, error) { return cfg.SubgraphsVaryV(experiments.YouTube) }},
+		{"7n", func() (*experiments.Table, error) { return cfg.SubgraphsVaryV(experiments.Synthetic) }},
+		{"8a", func() (*experiments.Table, error) { return cfg.PerfVaryVq(experiments.Amazon) }},
+		{"8b", func() (*experiments.Table, error) { return cfg.PerfVaryVq(experiments.YouTube) }},
+		{"8c", func() (*experiments.Table, error) { return cfg.PerfVaryVq(experiments.Synthetic) }},
+		{"8d", func() (*experiments.Table, error) { return cfg.PerfVaryAlphaQ() }},
+		{"8e", func() (*experiments.Table, error) { return cfg.PerfVaryV(experiments.Amazon) }},
+		{"8f", func() (*experiments.Table, error) { return cfg.PerfVaryV(experiments.YouTube) }},
+		{"8g", func() (*experiments.Table, error) { return cfg.PerfVaryV(experiments.Synthetic) }},
+		{"8h", func() (*experiments.Table, error) { return cfg.PerfVaryAlpha() }},
+		{"table2", cfg.Table2},
+		{"table3", cfg.Table3Sizes},
+		{"ablation", func() (*experiments.Table, error) { return cfg.Ablation(experiments.Synthetic) }},
+	}
+
+	var selected []job
+	switch {
+	case *all:
+		selected = jobs
+	case *fig != "":
+		for _, j := range jobs {
+			if j.id == strings.ToLower(*fig) {
+				selected = append(selected, j)
+			}
+		}
+		if len(selected) == 0 {
+			log.Fatalf("unknown figure %q", *fig)
+		}
+	case *table != "":
+		for _, j := range jobs {
+			if j.id == "table"+*table {
+				selected = append(selected, j)
+			}
+		}
+		if len(selected) == 0 {
+			log.Fatalf("unknown table %q", *table)
+		}
+	case *ablation:
+		selected = append(selected, jobs[len(jobs)-1])
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, j := range selected {
+		t, err := j.run()
+		if err != nil {
+			log.Fatalf("%s: %v", j.id, err)
+		}
+		t.Format(os.Stdout)
+	}
+	fmt.Fprintf(os.Stderr, "done: %d artifact(s), scale=%.2f trials=%d seed=%d\n",
+		len(selected), *scale, *trials, *seed)
+}

@@ -1,0 +1,74 @@
+// Gengraph emits workload graphs in the repository's text format: the
+// paper's synthetic generator (n nodes, n^α edges, l labels) and the
+// Amazon-like / YouTube-like dataset stand-ins, plus optional pattern
+// sampling.
+//
+// Examples:
+//
+//	gengraph -dataset synthetic -n 50000 -alpha 1.2 -labels 200 > data.g
+//	gengraph -dataset amazon -n 30000 > amazon.g
+//	gengraph -dataset synthetic -n 10000 -sample-pattern 10 > pattern.g
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/generator"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gengraph: ")
+	var (
+		dataset  = flag.String("dataset", "synthetic", "synthetic | amazon | youtube")
+		n        = flag.Int("n", 10000, "number of nodes")
+		alpha    = flag.Float64("alpha", 1.2, "edge density: |E| = n^alpha (synthetic only)")
+		labels   = flag.Int("labels", 200, "label alphabet size (synthetic only)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		samplePn = flag.Int("sample-pattern", 0, "emit a sampled pattern with this many nodes instead of the data graph")
+		alphaQ   = flag.Float64("alphaq", 1.2, "pattern density for -sample-pattern")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *dataset {
+	case "synthetic":
+		g = generator.Synthetic(*n, *alpha, *labels, *seed)
+	case "amazon":
+		g = generator.Amazon(*n, *seed)
+	case "youtube":
+		g = generator.YouTube(*n, *seed)
+	default:
+		log.Fatalf("unknown dataset %q (want synthetic, amazon or youtube)", *dataset)
+	}
+
+	if *samplePn > 0 {
+		g = generator.SamplePattern(g, generator.PatternOptions{
+			Nodes: *samplePn, Alpha: *alphaQ, Seed: *seed + 1,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := graph.Format(bw, g); err != nil {
+		log.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %v\n", g)
+}

@@ -1,0 +1,111 @@
+// Strongsim matches a pattern file against a data graph file (both in the
+// text format of internal/graph) with a selectable algorithm.
+//
+// Examples:
+//
+//	strongsim -pattern q.g -data g.g                  # Match+ (default)
+//	strongsim -pattern q.g -data g.g -algo match      # plain Fig. 3 Match
+//	strongsim -pattern q.g -data g.g -algo sim        # graph simulation
+//	strongsim -pattern q.g -data g.g -algo vf2 -v     # subgraph isomorphism
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/isomorphism"
+	"repro/internal/simulation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("strongsim: ")
+	var (
+		patternPath = flag.String("pattern", "", "pattern graph file (required)")
+		dataPath    = flag.String("data", "", "data graph file (required)")
+		algo        = flag.String("algo", "match+", "match+ | match | dual | sim | vf2")
+		radius      = flag.Int("radius", 0, "ball radius override (0 = pattern diameter)")
+		workers     = flag.Int("workers", 0, "parallel ball workers (0 = GOMAXPROCS)")
+		verbose     = flag.Bool("v", false, "print every match")
+		maxEmb      = flag.Int("max-embeddings", 100000, "vf2: embedding cap")
+	)
+	flag.Parse()
+	if *patternPath == "" || *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	labels := graph.NewLabels()
+	q := loadGraph(*patternPath, labels)
+	g := loadGraph(*dataPath, labels)
+	fmt.Printf("pattern %v\ndata    %v\n", q, g)
+
+	start := time.Now()
+	switch *algo {
+	case "match+", "match":
+		opts := core.Options{Workers: *workers, Radius: *radius}
+		if *algo == "match+" {
+			opts.MinimizeQuery = true
+			opts.DualFilter = true
+			opts.ConnectivityPruning = true
+		}
+		res, err := core.MatchWith(q, g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d perfect subgraphs in %v (balls examined %d, skipped %d)\n",
+			*algo, res.Len(), time.Since(start), res.Stats.BallsExamined, res.Stats.BallsSkipped)
+		if *verbose {
+			for _, ps := range res.Subgraphs {
+				fmt.Printf("  center=%d nodes=%v\n", ps.Center, ps.Nodes)
+			}
+		}
+	case "dual", "sim":
+		var rel simulation.Relation
+		var ok bool
+		if *algo == "dual" {
+			rel, ok = simulation.Dual(q, g)
+		} else {
+			rel, ok = simulation.Simulation(q, g)
+		}
+		fmt.Printf("%s: match=%v, %d pairs in %v\n", *algo, ok, rel.Len(), time.Since(start))
+		if *verbose && ok {
+			for u := int32(0); u < int32(q.NumNodes()); u++ {
+				fmt.Printf("  q%d(%s) -> %v\n", u, q.LabelName(u), rel[u].Slice())
+			}
+		}
+	case "vf2":
+		enum, err := isomorphism.FindAll(q, g, isomorphism.Options{MaxEmbeddings: *maxEmb})
+		if err != nil {
+			log.Fatal(err)
+		}
+		images := enum.DistinctImages(q)
+		fmt.Printf("vf2: %d embeddings, %d matched subgraphs in %v (complete=%v)\n",
+			len(enum.Embeddings), len(images), time.Since(start), enum.Complete)
+		if *verbose {
+			for _, img := range images {
+				fmt.Printf("  nodes=%v\n", img.Nodes)
+			}
+		}
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+}
+
+func loadGraph(path string, labels *graph.Labels) *graph.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.Parse(f, labels)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return g
+}

@@ -1,0 +1,36 @@
+// Package repro is a from-scratch Go reproduction of Ma, Cao, Fan, Huai,
+// Wo: "Capturing Topology in Graph Pattern Matching", PVLDB 5(4):310-321,
+// 2011 — graph pattern matching via strong simulation.
+//
+// Strong simulation (Q ≺LD G) revises graph simulation with two conditions
+// that recover the topology of the pattern in its matches: duality (parent
+// relationships are preserved, not just child relationships) and locality
+// (every match lives inside a ball whose radius is the pattern diameter).
+// The result keeps the cubic-time complexity of simulation extensions while
+// matching 70-80% of what subgraph isomorphism finds, returning at most |V|
+// matches of bounded diameter, and supporting distributed evaluation with
+// bounded data shipment.
+//
+// Layout:
+//
+//   - internal/graph: node-labeled digraph substrate (balls, components,
+//     cycles, diameters, text format)
+//   - internal/simulation: graph/dual/bounded simulation, bisimulation,
+//     match graphs, the HHK-style refinement engine
+//   - internal/core: the paper's contribution — Match (Fig. 3), minQ
+//     (Fig. 4), dualFilter (Fig. 5), connectivity pruning, Match+, ranking
+//   - internal/isomorphism: VF2 baseline
+//   - internal/approx: TALE and MCS baselines
+//   - internal/generator: synthetic (n, n^α, l) workloads, Amazon-like and
+//     YouTube-like dataset stand-ins, pattern sampling
+//   - internal/distributed: Section 4.3 partitioned evaluation with
+//     byte-counted traffic
+//   - internal/incremental: Section 6 future work — ball-local maintenance
+//     under edge updates
+//   - internal/experiments: drivers regenerating every table and figure
+//   - examples/, cmd/: runnable entry points
+//
+// The benchmarks in bench_test.go regenerate one table or figure each; see
+// EXPERIMENTS.md for a captured run against the paper's reported numbers
+// and DESIGN.md for the per-experiment index and substitutions.
+package repro

@@ -1,0 +1,61 @@
+// Distributed demonstrates Section 4.3: strong-simulation matching over a
+// partitioned graph. The data graph is sharded across k in-process sites;
+// every byte that would cross the network is counted. The run verifies
+// that the distributed result equals the centralized one and reports the
+// traffic, contrasting an edge-cut (BFS) partitioning with round-robin
+// hashing.
+//
+// Run with: go run ./examples/distributed [-n 5000] [-k 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/distributed"
+	"repro/internal/generator"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "data graph size")
+	k := flag.Int("k", 4, "number of sites")
+	seed := flag.Int64("seed", 3, "generator seed")
+	flag.Parse()
+
+	g := generator.Synthetic(*n, 1.2, 50, *seed)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 5, Alpha: 1.2, Seed: *seed + 1})
+	fmt.Printf("data    %v\npattern %v\nsites   %d\n\n", g, q, *k)
+
+	central, err := core.MatchWith(q, g, core.Options{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("centralized: %d perfect subgraphs\n\n", central.Len())
+
+	for _, scheme := range []struct {
+		name string
+		part distributed.Partition
+	}{
+		{"bfs-edge-cut", distributed.PartitionBFS(g, *k)},
+		{"round-robin", distributed.PartitionHash(g, *k)},
+	} {
+		cluster, err := distributed.NewCluster(g, scheme.part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, traffic, err := cluster.Match(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agree := res.Len() == central.Len()
+		fmt.Printf("%-12s matches=%d agree=%v cross-edges=%d\n",
+			scheme.name, res.Len(), agree, scheme.part.CrossEdges(g))
+		fmt.Printf("             traffic: query=%dB fetches=%d fetch-bytes=%dB results=%dB total=%dB\n\n",
+			traffic.QueryBroadcastBytes, traffic.FetchRequests,
+			traffic.FetchBytes, traffic.ResultBytes, traffic.TotalBytes())
+	}
+	fmt.Println("data locality (Section 4.3): only balls crossing fragment borders travel;")
+	fmt.Println("plain graph simulation would need the whole graph at one site (Example 7).")
+}

@@ -1,0 +1,228 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/isomorphism"
+	"repro/internal/paperdata"
+)
+
+func TestNHIndexBasics(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	idx := buildNHIndex(g2)
+	book2 := findBook2(t, g2)
+	e := idx.entries[book2]
+	if e.degree != 3 {
+		t.Fatalf("book2 degree = %d, want 3", e.degree)
+	}
+	if e.label != g2.Label(book2) {
+		t.Fatal("label mismatch")
+	}
+	// Query index: the book node sees ST and TE neighbor labels.
+	qi := buildNHIndex(q2)
+	book := q2.NodesWithLabelName("book")[0]
+	if missingNeighborLabels(qi.entries[book], e) != 0 {
+		t.Fatal("book2 should cover the query book's neighbor labels")
+	}
+}
+
+func findBook2(t *testing.T, g2 *graph.Graph) int32 {
+	t.Helper()
+	for _, v := range g2.NodesWithLabelName("book") {
+		if g2.InDegree(v) == 3 {
+			return v
+		}
+	}
+	t.Fatal("book2 not found")
+	return -1
+}
+
+func TestNeighborhoodDedup(t *testing.T) {
+	labels := graph.NewLabels()
+	b := graph.NewBuilder(labels)
+	u := b.AddNode("A")
+	v := b.AddNode("B")
+	_ = b.AddEdge(u, v)
+	_ = b.AddEdge(v, u)
+	_ = b.AddEdge(u, u) // self loop must not appear in the neighborhood
+	g := b.Build()
+	if nbs := neighborhood(g, u); len(nbs) != 1 || nbs[0] != v {
+		t.Fatalf("neighborhood = %v, want [v]", nbs)
+	}
+}
+
+func TestTALEFindsExactMatches(t *testing.T) {
+	// On Fig. 2's Q2/G2 the exact matches exist; TALE must find subgraphs
+	// covering at least (1-ρ) of the query nodes, and at least one complete
+	// match (the exact embedding is reachable by greedy growth here).
+	q2, g2 := paperdata.Fig2Q2()
+	matches := TALE(q2, g2, TALEOptions{})
+	if len(matches) == 0 {
+		t.Fatal("TALE found nothing on a graph with exact matches")
+	}
+	minCover := int(float64(q2.NumNodes())*0.75 + 0.5)
+	complete := 0
+	for _, m := range matches {
+		if got := len(m.Nodes()); got < minCover {
+			t.Fatalf("match covers %d nodes, below the (1-ρ) threshold %d", got, minCover)
+		}
+		if m.Complete() {
+			complete++
+			if m.MatchedEdges == 0 {
+				t.Fatal("complete match realizes no edges")
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete match found although exact embeddings exist")
+	}
+}
+
+func TestTALEMaxSeeds(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	all := TALE(q2, g2, TALEOptions{})
+	capped := TALE(q2, g2, TALEOptions{MaxSeeds: 1})
+	if len(capped) > 1 {
+		t.Fatalf("MaxSeeds ignored: %d matches", len(capped))
+	}
+	if len(all) < len(capped) {
+		t.Fatal("cap increased result count")
+	}
+}
+
+func TestTALEToleratesMissingNeighbor(t *testing.T) {
+	// Query: center with 4 leaves. Data: center with 3 of the 4 leaf
+	// labels. Exact isomorphism fails; TALE with ρ=0.25 (1 missing
+	// neighbor allowed) still matches the remaining structure — but the
+	// match cannot cover all query nodes, so with strict completeness it
+	// returns nothing, while the probe itself accepts the center.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	c := qb.AddNode("C")
+	for _, l := range []string{"L1", "L2", "L3", "L4"} {
+		v := qb.AddNode(l)
+		_ = qb.AddEdge(c, v)
+	}
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gc := gb.AddNode("C")
+	for _, l := range []string{"L1", "L2", "L3"} {
+		v := gb.AddNode(l)
+		_ = gb.AddEdge(gc, v)
+	}
+	g := gb.Build()
+
+	qi, gi := buildNHIndex(q), buildNHIndex(g)
+	cands := indexProbe(qi, gi, c, 0.25)
+	if len(cands) != 1 || cands[0] != gc {
+		t.Fatalf("probe candidates = %v, want the data center", cands)
+	}
+	if enum, err := isomorphism.FindAll(q, g, isomorphism.Options{}); err != nil || len(enum.Embeddings) != 0 {
+		t.Fatal("fixture broken: exact match should not exist")
+	}
+	// With zero slack the probe must reject the center (missing L4).
+	if cands := indexProbe(qi, gi, c, 0.0); len(cands) != 0 {
+		t.Fatalf("probe with ρ=0 accepted %v", cands)
+	}
+}
+
+func TestTALEFindsAtLeastVF2Images(t *testing.T) {
+	// On label-rich random graphs TALE (approximate) should cover at least
+	// as many nodes as exact isomorphism most of the time; we assert the
+	// weaker, deterministic property that every VF2 image node set also
+	// passes TALE's index probe for its anchor.
+	rng := rand.New(rand.NewSource(7))
+	labels := graph.NewLabels()
+	g := randomGraph(rng, labels, 60, 150, 4)
+	q := sampleConnectedPattern(rng, g, labels, 4)
+	enum, err := isomorphism.FindAll(q, g, isomorphism.Options{MaxEmbeddings: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := TALE(q, g, TALEOptions{})
+	if len(enum.Embeddings) > 0 && len(matches) == 0 {
+		t.Fatal("exact matches exist but TALE found none")
+	}
+}
+
+func TestMCSAcceptsIsomorphicCandidate(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	matches := MCS(q2, g2, MCSOptions{})
+	if len(matches) == 0 {
+		t.Fatal("MCS found nothing although G2 contains Q2 exactly")
+	}
+	for _, m := range matches {
+		if m.Score < 0.7 {
+			t.Fatalf("score %f below threshold", m.Score)
+		}
+		if len(m.Nodes) != q2.NumNodes() {
+			t.Fatalf("candidate size %d != |Vq|", len(m.Nodes))
+		}
+	}
+}
+
+func TestMCSThresholdFilters(t *testing.T) {
+	// Query triangle A->B->C->A; data is a chain with unrelated labels: no
+	// common structure beyond single nodes, so a 0.7 threshold rejects.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	bn := qb.AddNode("B")
+	c := qb.AddNode("C")
+	_ = qb.AddEdge(a, bn)
+	_ = qb.AddEdge(bn, c)
+	_ = qb.AddEdge(c, a)
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	x := gb.AddNode("A")
+	y := gb.AddNode("X")
+	z := gb.AddNode("Y")
+	_ = gb.AddEdge(x, y)
+	_ = gb.AddEdge(y, z)
+	g := gb.Build()
+	if ms := MCS(q, g, MCSOptions{}); len(ms) != 0 {
+		t.Fatalf("MCS accepted %v on structurally alien data", ms)
+	}
+	// Lowering the threshold to 1/3 accepts the single shared A node.
+	if ms := MCS(q, g, MCSOptions{Threshold: 0.3}); len(ms) == 0 {
+		t.Fatal("threshold 0.3 should accept the single-node overlap")
+	}
+}
+
+func TestMCSMaxCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := graph.NewLabels()
+	g := randomGraph(rng, labels, 80, 200, 3)
+	q := sampleConnectedPattern(rng, g, labels, 4)
+	all := MCS(q, g, MCSOptions{Threshold: 0.5})
+	capped := MCS(q, g, MCSOptions{Threshold: 0.5, MaxCandidates: 5})
+	if len(capped) > len(all) {
+		t.Fatal("cap increased result count")
+	}
+	if len(capped) > 5 {
+		t.Fatalf("cap ignored: %d results", len(capped))
+	}
+}
+
+// randomGraph builds a labeled random digraph for approx tests.
+func randomGraph(rng *rand.Rand, labels *graph.Labels, n, m, l int) *graph.Graph {
+	b := graph.NewBuilder(labels)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(l))))
+	}
+	for i := 0; i < m; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// sampleConnectedPattern extracts a connected subgraph of g as a pattern,
+// guaranteeing that exact matches exist.
+func sampleConnectedPattern(rng *rand.Rand, g *graph.Graph, labels *graph.Labels, k int) *graph.Graph {
+	start := int32(rng.Intn(g.NumNodes()))
+	nodes := growCandidate(g, start, k)
+	sub, _, _ := g.InducedSubgraph(nodes)
+	return sub
+}

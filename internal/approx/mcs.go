@@ -1,0 +1,210 @@
+package approx
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// MCSOptions tune the MCS baseline.
+type MCSOptions struct {
+	// Threshold is the acceptance ratio |mcs(Q,Gs)| / max(|Vq|,|Vs|); the
+	// paper uses 0.7 (Section 5).
+	Threshold float64
+	// MaxCandidates caps how many candidate subgraphs are scored in total;
+	// 0 = GrowthsPerSeed per eligible seed node. Enumerating all size-|Vq|
+	// connected subgraphs is infeasible (the paper notes 2^|V| subgraphs),
+	// so like the paper we compare only same-size subgraphs, grown around
+	// seeds.
+	MaxCandidates int
+	// GrowthsPerSeed is the number of randomized candidate subgraphs grown
+	// per seed node (default 2: one deterministic BFS, one randomized).
+	GrowthsPerSeed int
+}
+
+func (o *MCSOptions) defaults() {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.7
+	}
+	if o.GrowthsPerSeed <= 0 {
+		o.GrowthsPerSeed = 2
+	}
+}
+
+// MCSMatch is a candidate subgraph accepted by the MCS criterion.
+type MCSMatch struct {
+	// Nodes is the candidate subgraph's node set, ascending.
+	Nodes []int32
+	// Common is the approximate maximum-common-subgraph size |mcs(Q,Gs)|.
+	Common int
+	// Score is Common / max(|Vq|,|Vs|).
+	Score float64
+}
+
+// MCS scores connected candidate subgraphs of g with |Vq| nodes against q
+// and returns those whose approximate maximum common subgraph covers at
+// least Threshold of the larger side. Candidates are grown by undirected
+// BFS from every data node whose label occurs in q, mirroring the paper's
+// restriction to subgraphs with as many nodes as the pattern.
+func MCS(q, g *graph.Graph, opts MCSOptions) []*MCSMatch {
+	opts.defaults()
+	k := q.NumNodes()
+	if k == 0 || g.NumNodes() < k {
+		return nil
+	}
+	qLabels := make(map[int32]bool, k)
+	for u := int32(0); u < int32(k); u++ {
+		qLabels[q.Label(u)] = true
+	}
+
+	var out []*MCSMatch
+	seen := make(map[string]bool)
+	scored := 0
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if !qLabels[g.Label(v)] {
+			continue
+		}
+		for growth := 0; growth < opts.GrowthsPerSeed; growth++ {
+			if opts.MaxCandidates > 0 && scored >= opts.MaxCandidates {
+				return out
+			}
+			var nodes []int32
+			if growth == 0 {
+				nodes = growCandidate(g, v, k)
+			} else {
+				// Deterministic per (seed node, growth index) randomized
+				// expansion widens the candidate sample.
+				nodes = growCandidateRandom(g, v, k, int64(v)*31+int64(growth))
+			}
+			if len(nodes) < k {
+				continue
+			}
+			sig := nodeSignature(nodes)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			scored++
+			common := greedyCommonSubgraph(q, g, nodes)
+			den := k
+			if len(nodes) > den {
+				den = len(nodes)
+			}
+			score := float64(common) / float64(den)
+			if score >= opts.Threshold {
+				out = append(out, &MCSMatch{Nodes: nodes, Common: common, Score: score})
+			}
+		}
+	}
+	return out
+}
+
+// growCandidateRandom grows a connected candidate by randomized frontier
+// expansion, seeded deterministically.
+func growCandidateRandom(g *graph.Graph, seed int32, k int, rngSeed int64) []int32 {
+	rng := rand.New(rand.NewSource(rngSeed))
+	nodes := []int32{seed}
+	seen := map[int32]bool{seed: true}
+	frontier := []int32{seed}
+	for len(frontier) > 0 && len(nodes) < k {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		var nbs []int32
+		nbs = append(nbs, g.Out(v)...)
+		nbs = append(nbs, g.In(v)...)
+		rng.Shuffle(len(nbs), func(a, b int) { nbs[a], nbs[b] = nbs[b], nbs[a] })
+		for _, w := range nbs {
+			if len(nodes) >= k {
+				break
+			}
+			if !seen[w] {
+				seen[w] = true
+				nodes = append(nodes, w)
+				frontier = append(frontier, w)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// growCandidate collects the first k nodes of an undirected BFS from seed —
+// a connected candidate subgraph the size of the pattern.
+func growCandidate(g *graph.Graph, seed int32, k int) []int32 {
+	nodes := []int32{seed}
+	seen := map[int32]bool{seed: true}
+	queue := []int32{seed}
+	for len(queue) > 0 && len(nodes) < k {
+		v := queue[0]
+		queue = queue[1:]
+		visit := func(w int32) {
+			if len(nodes) < k && !seen[w] {
+				seen[w] = true
+				nodes = append(nodes, w)
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range g.Out(v) {
+			visit(w)
+		}
+		for _, w := range g.In(v) {
+			visit(w)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// greedyCommonSubgraph approximates |mcs(Q, Gs)|: it greedily pairs
+// label-equal nodes, preferring pairs that realize the most edges to pairs
+// chosen so far, and counts the nodes participating in a common subgraph
+// that preserves at least the paired edges.
+func greedyCommonSubgraph(q, g *graph.Graph, subNodes []int32) int {
+	inSub := make(map[int32]bool, len(subNodes))
+	for _, v := range subNodes {
+		inSub[v] = true
+	}
+	mapped := make(map[int32]int32) // query -> data
+	usedG := make(map[int32]bool)
+
+	for {
+		bestU, bestV, bestScore := int32(-1), int32(-1), -1
+		for u := int32(0); u < int32(q.NumNodes()); u++ {
+			if _, done := mapped[u]; done {
+				continue
+			}
+			for _, v := range subNodes {
+				if usedG[v] || g.Label(v) != q.Label(u) {
+					continue
+				}
+				s := 0
+				for _, uc := range q.Out(u) {
+					if vc, ok := mapped[uc]; ok && g.HasEdge(v, vc) && inSub[vc] {
+						s++
+					}
+				}
+				for _, up := range q.In(u) {
+					if vp, ok := mapped[up]; ok && g.HasEdge(vp, v) && inSub[vp] {
+						s++
+					}
+				}
+				// Prefer edge-rich extensions; allow isolated starts.
+				if len(mapped) > 0 && s == 0 {
+					continue
+				}
+				if s > bestScore {
+					bestU, bestV, bestScore = u, v, s
+				}
+			}
+		}
+		if bestU < 0 {
+			break
+		}
+		mapped[bestU] = bestV
+		usedG[bestV] = true
+	}
+	return len(mapped)
+}

@@ -1,0 +1,254 @@
+package approx
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// TALEOptions tune the TALE matcher.
+type TALEOptions struct {
+	// Rho is the fraction of a query node's neighborhood allowed to be
+	// missing in a match (TALE's ρ; the paper of record defaults to 25%).
+	Rho float64
+	// ImportantFraction selects the top fraction of query nodes by degree
+	// as "important" nodes matched through the NH-index. Default 0.5.
+	ImportantFraction float64
+	// MaxSeeds caps the number of seed assignments grown into matches;
+	// 0 = all candidate seeds.
+	MaxSeeds int
+}
+
+func (o *TALEOptions) defaults() {
+	if o.Rho <= 0 {
+		o.Rho = 0.25
+	}
+	if o.ImportantFraction <= 0 {
+		o.ImportantFraction = 0.5
+	}
+}
+
+// TALEMatch is one approximate match: a mapping from query nodes to data
+// nodes, possibly missing some query nodes (value -1).
+type TALEMatch struct {
+	Mapping []int32
+	// MatchedEdges counts query edges realized by the mapping.
+	MatchedEdges int
+}
+
+// Complete reports whether every query node is matched.
+func (m *TALEMatch) Complete() bool {
+	for _, v := range m.Mapping {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns the matched data nodes ascending.
+func (m *TALEMatch) Nodes() []int32 {
+	var out []int32
+	for _, v := range m.Mapping {
+		if v >= 0 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TALE runs the TALE approximate matcher: probe the NH-index with the
+// important query nodes, then grow each seed assignment by adjacent
+// candidate pairs. Following TALE's approximate semantics, a grown mapping
+// counts as a match when it covers at least (1-ρ) of the query nodes — it
+// may miss nodes and edges, which is why TALE reports more (and looser)
+// matched subgraphs than exact isomorphism (paper Figures 7(i)-(n)).
+func TALE(q, g *graph.Graph, opts TALEOptions) []*TALEMatch {
+	opts.defaults()
+	qi := buildNHIndex(q)
+	gi := buildNHIndex(g)
+
+	important := importantNodes(q, opts.ImportantFraction)
+	if len(important) == 0 {
+		return nil
+	}
+	minCover := int(float64(q.NumNodes())*(1-opts.Rho) + 0.5)
+	if minCover < 1 {
+		minCover = 1
+	}
+
+	// Candidate data nodes per important query node; every candidate of
+	// every important node anchors one growth attempt.
+	cand := make(map[int32][]int32, len(important))
+	for _, u := range important {
+		cand[u] = indexProbe(qi, gi, u, opts.Rho)
+	}
+
+	var out []*TALEMatch
+	seen := make(map[string]bool)
+	for _, anchor := range important {
+		for _, v := range cand[anchor] {
+			if opts.MaxSeeds > 0 && len(out) >= opts.MaxSeeds {
+				return out
+			}
+			m := growMatch(q, g, qi, gi, anchor, v, cand, opts)
+			if m == nil || len(m.Nodes()) < minCover {
+				continue
+			}
+			sig := nodeSignature(m.Nodes())
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// importantNodes returns the top fraction of query nodes by degree,
+// highest first.
+func importantNodes(q *graph.Graph, fraction float64) []int32 {
+	n := q.NumNodes()
+	k := int(float64(n)*fraction + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	nodes := make([]int32, n)
+	for i := range nodes {
+		nodes[i] = int32(i)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if q.Degree(nodes[i]) != q.Degree(nodes[j]) {
+			return q.Degree(nodes[i]) > q.Degree(nodes[j])
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes[:k]
+}
+
+// indexProbe returns data nodes that approximately match query node u:
+// same label, enough degree, few missing neighbor labels, enough neighbor
+// connections — TALE's NH-index probe with slack ρ.
+func indexProbe(qi, gi *nhIndex, u int32, rho float64) []int32 {
+	qe := qi.entries[u]
+	allowMissing := int(rho*float64(qe.degree) + 0.5)
+	var out []int32
+	for _, v := range gi.g.NodesWithLabel(qe.label) {
+		ge := gi.entries[v]
+		if int(ge.degree) < int(qe.degree)-allowMissing {
+			continue
+		}
+		if missingNeighborLabels(qe, ge) > allowMissing {
+			continue
+		}
+		if int(ge.nbConn) < int(qe.nbConn)-allowMissing {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// growMatch extends the anchor pair into a full mapping: repeatedly pick
+// the unmatched (query node, data node) pair adjacent to the current match
+// with the highest adjacency score.
+func growMatch(q, g *graph.Graph, qi, gi *nhIndex, anchor, seed int32, cand map[int32][]int32, opts TALEOptions) *TALEMatch {
+	m := &TALEMatch{Mapping: make([]int32, q.NumNodes())}
+	for i := range m.Mapping {
+		m.Mapping[i] = -1
+	}
+	used := make(map[int32]bool)
+	assign := func(u, v int32) {
+		m.Mapping[u] = v
+		used[v] = true
+	}
+	assign(anchor, seed)
+
+	for {
+		bestU, bestV, bestScore := int32(-1), int32(-1), -1
+		for u := int32(0); u < int32(q.NumNodes()); u++ {
+			if m.Mapping[u] >= 0 {
+				continue
+			}
+			for _, v := range candidatesNear(q, g, m, u, used) {
+				if g.Label(v) != q.Label(u) || used[v] {
+					continue
+				}
+				s := adjacencyScore(q, g, m, u, v)
+				if s > bestScore {
+					bestU, bestV, bestScore = u, v, s
+				}
+			}
+		}
+		if bestU < 0 || bestScore <= 0 {
+			break
+		}
+		assign(bestU, bestV)
+	}
+	m.MatchedEdges = countMatchedEdges(q, g, m)
+	return m
+}
+
+// candidatesNear proposes data nodes for query node u: data neighbors of
+// the images of u's matched query neighbors.
+func candidatesNear(q, g *graph.Graph, m *TALEMatch, u int32, used map[int32]bool) []int32 {
+	var out []int32
+	add := func(vs []int32) {
+		for _, v := range vs {
+			if !used[v] {
+				out = append(out, v)
+			}
+		}
+	}
+	for _, up := range q.In(u) {
+		if vp := m.Mapping[up]; vp >= 0 {
+			add(g.Out(vp))
+		}
+	}
+	for _, uc := range q.Out(u) {
+		if vc := m.Mapping[uc]; vc >= 0 {
+			add(g.In(vc))
+		}
+	}
+	return out
+}
+
+// adjacencyScore counts query edges between u and matched query nodes that
+// the pair (u,v) would realize in the data graph.
+func adjacencyScore(q, g *graph.Graph, m *TALEMatch, u, v int32) int {
+	s := 0
+	for _, uc := range q.Out(u) {
+		if vc := m.Mapping[uc]; vc >= 0 && g.HasEdge(v, vc) {
+			s++
+		}
+	}
+	for _, up := range q.In(u) {
+		if vp := m.Mapping[up]; vp >= 0 && g.HasEdge(vp, v) {
+			s++
+		}
+	}
+	return s
+}
+
+func countMatchedEdges(q, g *graph.Graph, m *TALEMatch) int {
+	n := 0
+	q.Edges(func(u, u2 int32) {
+		v, v2 := m.Mapping[u], m.Mapping[u2]
+		if v >= 0 && v2 >= 0 && g.HasEdge(v, v2) {
+			n++
+		}
+	})
+	return n
+}
+
+func nodeSignature(nodes []int32) string {
+	b := make([]byte, 0, len(nodes)*4)
+	for _, v := range nodes {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+// labelsOf maps data node ids to their symbolic meaning via label +
+// in/out degree — used to assert which concrete nodes matched.
+func nodeLabels(g *graph.Graph, nodes []int32) []string {
+	out := make([]string, len(nodes))
+	for i, v := range nodes {
+		out[i] = g.LabelName(v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustMatch(t *testing.T, q, g *graph.Graph, opts Options) *Result {
+	t.Helper()
+	res, err := MatchWith(q, g, opts)
+	if err != nil {
+		t.Fatalf("MatchWith: %v", err)
+	}
+	return res
+}
+
+func allVariants() map[string]Options {
+	return map[string]Options{
+		"plain":    {},
+		"minq":     {MinimizeQuery: true},
+		"filter":   {DualFilter: true},
+		"pruning":  {ConnectivityPruning: true},
+		"plus":     PlusOptions(),
+		"plus-seq": {MinimizeQuery: true, DualFilter: true, ConnectivityPruning: true, Workers: 1},
+	}
+}
+
+func TestPaperExampleFig1(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	for name, opts := range allVariants() {
+		t.Run(name, func(t *testing.T) {
+			res := mustMatch(t, q1, g1, opts)
+			if res.Len() != 1 {
+				t.Fatalf("Θ has %d subgraphs, want exactly the good component Gc (Example 2(3)): %v",
+					res.Len(), res.Subgraphs)
+			}
+			gc := res.Subgraphs[0]
+			if len(gc.Nodes) != 7 {
+				t.Fatalf("Gc has %d nodes, want 7: %v", len(gc.Nodes), nodeLabels(g1, gc.Nodes))
+			}
+			want := []string{"AI", "AI", "Bio", "DM", "DM", "HR", "SE"}
+			if got := nodeLabels(g1, gc.Nodes); !reflect.DeepEqual(got, want) {
+				t.Fatalf("Gc labels = %v, want %v", got, want)
+			}
+			// Bio in Q1 matches only Bio4 (Example 1).
+			bio := q1.NodesWithLabelName("Bio")[0]
+			if got := res.MatchesOf(bio); len(got) != 1 {
+				t.Fatalf("Bio matches %v, want exactly one (Bio4)", got)
+			}
+			// Gc must carry 9 edges: HR2→SE2, HR2→Bio4, SE2→Bio4, two
+			// DM→Bio4 and the two 2-cycles AI'i ⇄ DM'i.
+			if len(gc.Edges) != 9 {
+				t.Fatalf("Gc has %d edges, want 9", len(gc.Edges))
+			}
+			if err := gc.Verify(q1, g1, 3); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestPaperExampleFig2Q2(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	res := mustMatch(t, q2, g2, Options{})
+	// Strong simulation returns a single match graph containing book2 with
+	// both student recommenders and the teacher (Example 2(4)).
+	if res.Len() != 1 {
+		t.Fatalf("Θ = %d subgraphs, want 1", res.Len())
+	}
+	ps := res.Subgraphs[0]
+	want := []string{"ST", "ST", "TE", "book"}
+	if got := nodeLabels(g2, ps.Nodes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("match nodes = %v, want %v", got, want)
+	}
+	book := q2.NodesWithLabelName("book")[0]
+	matches := res.MatchesOf(book)
+	if len(matches) != 1 {
+		t.Fatalf("book matches %v, want only book2", matches)
+	}
+	// book2 is the one with a TE parent.
+	hasTE := false
+	for _, p := range g2.In(matches[0]) {
+		if g2.LabelName(p) == "TE" {
+			hasTE = true
+		}
+	}
+	if !hasTE {
+		t.Fatal("matched book lacks a teacher recommender; duality violated")
+	}
+}
+
+func TestPaperExampleFig2Q3Locality(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	res := mustMatch(t, q3, g3, Options{})
+	// Example 2(5): P1, P2, P3 matched; P4 excluded by locality.
+	union := res.NodeUnion(g3.NumNodes())
+	if union.Len() != 3 {
+		t.Fatalf("strong simulation matches %d people, want 3 (P1,P2,P3)", union.Len())
+	}
+	// P4 is the node with an out-edge to P1 but no reciprocated edge: it
+	// has no predecessor among its successors. Identify it structurally.
+	var p4 int32 = -1
+	for v := int32(0); v < int32(g3.NumNodes()); v++ {
+		reciprocal := false
+		for _, w := range g3.Out(v) {
+			if g3.HasEdge(w, v) {
+				reciprocal = true
+			}
+		}
+		if !reciprocal {
+			p4 = v
+		}
+	}
+	if p4 < 0 {
+		t.Fatal("fixture broken: no non-reciprocal person found")
+	}
+	if union.Contains(p4) {
+		t.Fatal("P4 should be excluded by locality (Example 2(5))")
+	}
+	for _, ps := range res.Subgraphs {
+		if err := ps.Verify(q3, g3, 1); err != nil {
+			t.Fatalf("Verify(%v): %v", ps, err)
+		}
+	}
+}
+
+func TestPaperExampleFig2Q4Duality(t *testing.T) {
+	q4, g4 := paperdata.Fig2Q4()
+	res := mustMatch(t, q4, g4, Options{})
+	sn := q4.NodesWithLabelName("SN")[0]
+	matches := res.MatchesOf(sn)
+	if len(matches) != 2 {
+		t.Fatalf("SN matches %d nodes, want SN1 and SN2 only (Example 2(6))", len(matches))
+	}
+	// All matches arrive in a single match graph: db1 with SN1, SN2,
+	// graph1, graph2 (5 nodes).
+	if res.Len() != 1 {
+		t.Fatalf("Θ = %d subgraphs, want a single match graph", res.Len())
+	}
+	if got := len(res.Subgraphs[0].Nodes); got != 5 {
+		t.Fatalf("match graph has %d nodes, want 5", got)
+	}
+}
+
+func TestMatchRejectsBadPatterns(t *testing.T) {
+	labels := graph.NewLabels()
+	empty := graph.NewBuilder(labels).Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNode("A")
+	g := gb.Build()
+	if _, err := Match(empty, g); err == nil {
+		t.Fatal("empty pattern should be rejected")
+	}
+	db := graph.NewBuilder(labels)
+	db.AddNode("A")
+	db.AddNode("B")
+	disconnected := db.Build()
+	if _, err := Match(disconnected, g); err == nil {
+		t.Fatal("disconnected pattern should be rejected")
+	}
+}
+
+func TestMatchNoMatchesAnywhere(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "z", "Z")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "b1", "B")
+	g := gb.Build()
+	for name, opts := range allVariants() {
+		t.Run(name, func(t *testing.T) {
+			res := mustMatch(t, q, g, opts)
+			if !res.Empty() {
+				t.Fatalf("expected no matches, got %v", res.Subgraphs)
+			}
+		})
+	}
+}
+
+func TestMatchSingleNodePattern(t *testing.T) {
+	// A one-node pattern has diameter 0: each matching node is its own
+	// perfect subgraph (an isolated matched node in a radius-0 ball).
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNode("A")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "b1", "B")
+	gb.AddNamedNode("a2", "A")
+	g := gb.Build()
+	res := mustMatch(t, q, g, Options{})
+	if res.Len() != 2 {
+		t.Fatalf("Θ = %d, want 2 singleton subgraphs", res.Len())
+	}
+	for _, ps := range res.Subgraphs {
+		if len(ps.Nodes) != 1 || len(ps.Edges) != 0 {
+			t.Fatalf("want singleton subgraphs, got %v", ps)
+		}
+	}
+}
+
+func TestSelfLoopPattern(t *testing.T) {
+	// Pattern: a single node with a self-loop; matches exactly the data
+	// nodes with self-loops.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	if err := qb.AddEdge(a, a); err != nil {
+		t.Fatal(err)
+	}
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	a1 := gb.AddNode("A")
+	a2 := gb.AddNode("A")
+	if err := gb.AddEdge(a1, a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gb.AddEdge(a1, a2); err != nil {
+		t.Fatal(err)
+	}
+	g := gb.Build()
+	res := mustMatch(t, q, g, Options{})
+	if res.Len() != 1 {
+		t.Fatalf("Θ = %d, want 1", res.Len())
+	}
+	if got := res.Subgraphs[0].Nodes; !reflect.DeepEqual(got, []int32{a1}) {
+		t.Fatalf("matched %v, want [a1]", got)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	res := mustMatch(t, q1, g1, Options{})
+	if res.Empty() {
+		t.Fatal("Fig. 1 must match")
+	}
+	hist := res.SizeHistogram()
+	if hist[0] != 1 {
+		t.Fatalf("histogram = %v, want one subgraph in [0,9]", hist)
+	}
+	max := res.Maximal()
+	if len(max) != 1 {
+		t.Fatalf("Maximal = %d, want 1", len(max))
+	}
+	ps := res.Subgraphs[0]
+	if ps.Size() != len(ps.Nodes)+len(ps.Edges) {
+		t.Fatal("Size mismatch")
+	}
+	if ps.String() == "" {
+		t.Fatal("String empty")
+	}
+	gs, orig := ps.Graph(g1)
+	if gs.NumNodes() != len(orig) || gs.NumNodes() != len(ps.Nodes) {
+		t.Fatal("Graph materialization inconsistent")
+	}
+	if !gs.IsConnected() {
+		t.Fatal("perfect subgraph must be connected")
+	}
+}
+
+func TestNestedPerfectSubgraphsQ3Maximal(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	res := mustMatch(t, q3, g3, Options{})
+	// Balls centered at P1, P2, P3 give {P1,P2}, {P1,P2,P3}, {P2,P3}: three
+	// distinct perfect subgraphs, one maximal.
+	if res.Len() != 3 {
+		t.Fatalf("Θ = %d subgraphs, want 3", res.Len())
+	}
+	max := res.Maximal()
+	if len(max) != 1 || len(max[0].Nodes) != 3 {
+		t.Fatalf("Maximal = %v, want the single 3-node subgraph", max)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	plain := mustMatch(t, q1, g1, Options{Workers: 1})
+	if plain.Stats.BallsExamined != g1.NumNodes() {
+		t.Fatalf("plain Match examined %d balls, want %d (Fig. 3 line 2)",
+			plain.Stats.BallsExamined, g1.NumNodes())
+	}
+	filtered := mustMatch(t, q1, g1, Options{DualFilter: true, Workers: 1})
+	if filtered.Stats.BallsSkipped == 0 {
+		t.Fatal("dual filter should skip the bad component's balls")
+	}
+	if filtered.Stats.BallsExamined+filtered.Stats.BallsSkipped != g1.NumNodes() {
+		t.Fatal("examined+skipped should cover all centers")
+	}
+	if filtered.Stats.BallsExamined != 7 {
+		t.Fatalf("dual filter examined %d balls, want 7 (the Gc nodes)", filtered.Stats.BallsExamined)
+	}
+	minq := mustMatch(t, q1, g1, Options{MinimizeQuery: true})
+	if minq.Stats.MinimizedFrom != q1.Size() {
+		t.Fatal("MinimizedFrom not recorded")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/paperdata"
+)
+
+func TestTopKFig2Q3(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	res := mustMatch(t, q3, g3, Options{})
+	if res.Len() != 3 {
+		t.Fatalf("fixture: expected 3 perfect subgraphs, got %d", res.Len())
+	}
+	ranked := res.TopK(q3, g3, 0, nil)
+	if len(ranked) != 3 {
+		t.Fatalf("TopK(0) should rank everything, got %d", len(ranked))
+	}
+	// The two tight 2-node subgraphs (exact isomorphic images) outrank the
+	// looser 3-node one under the default metric.
+	if len(ranked[0].Nodes) != 2 || len(ranked[1].Nodes) != 2 {
+		t.Fatalf("tight matches should rank first: sizes %d, %d, %d",
+			len(ranked[0].Nodes), len(ranked[1].Nodes), len(ranked[2].Nodes))
+	}
+	if ranked[0].Score < ranked[1].Score || ranked[1].Score < ranked[2].Score {
+		t.Fatal("scores must be non-increasing")
+	}
+	top1 := res.TopK(q3, g3, 1, nil)
+	if len(top1) != 1 || top1[0].Score != ranked[0].Score {
+		t.Fatal("TopK(1) should return the best match")
+	}
+}
+
+func TestMetricsBounds(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	res := mustMatch(t, q1, g1, Options{})
+	ps := res.Subgraphs[0]
+	for name, m := range map[string]Metric{
+		"compactness": ScoreCompactness,
+		"density":     ScoreDensity,
+		"selectivity": ScoreSelectivity,
+		"default":     DefaultMetric,
+	} {
+		s := m(q1, g1, ps)
+		if s <= 0 || s > 1 {
+			t.Fatalf("%s = %v, want in (0,1]", name, s)
+		}
+	}
+}
+
+func TestScoreSelectivityExactMatch(t *testing.T) {
+	// Q2/G2: the perfect subgraph has two students for one pattern ST node,
+	// so selectivity < 1; compactness also < 1 (4 nodes vs 3 pattern
+	// nodes).
+	q2, g2 := paperdata.Fig2Q2()
+	res := mustMatch(t, q2, g2, Options{})
+	ps := res.Subgraphs[0]
+	if s := ScoreSelectivity(q2, g2, ps); s >= 1 {
+		t.Fatalf("selectivity = %v, want < 1 (two ST candidates)", s)
+	}
+	if s := ScoreCompactness(q2, g2, ps); s != 3.0/4.0 {
+		t.Fatalf("compactness = %v, want 0.75", s)
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	res := mustMatch(t, q3, g3, Options{})
+	a := res.TopK(q3, g3, 3, nil)
+	b := res.TopK(q3, g3, 3, nil)
+	for i := range a {
+		if a[i].Score != b[i].Score || a[i].Nodes[0] != b[i].Nodes[0] {
+			t.Fatal("TopK not deterministic")
+		}
+	}
+}

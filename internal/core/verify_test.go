@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+func TestVerifyRejectsCorruptedSubgraphs(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	res := mustMatch(t, q1, g1, Options{})
+	good := res.Subgraphs[0]
+	if err := good.Verify(q1, g1, 3); err != nil {
+		t.Fatalf("genuine subgraph rejected: %v", err)
+	}
+
+	// Empty subgraph.
+	if err := (&PerfectSubgraph{}).Verify(q1, g1, 3); err == nil {
+		t.Fatal("empty subgraph must be rejected")
+	}
+
+	// Fabricated edge not in G.
+	bad := &PerfectSubgraph{
+		Center: good.Center,
+		Nodes:  good.Nodes,
+		Edges:  append(append([][2]int32{}, good.Edges...), [2]int32{good.Nodes[0], good.Nodes[0]}),
+		Rel:    good.Rel,
+	}
+	if err := bad.Verify(q1, g1, 3); err == nil {
+		t.Fatal("fabricated edge must be rejected")
+	}
+
+	// Dropping an edge breaks "Gs is exactly the match graph".
+	if len(good.Edges) > 1 {
+		bad = &PerfectSubgraph{
+			Center: good.Center,
+			Nodes:  good.Nodes,
+			Edges:  good.Edges[1:],
+			Rel:    good.Rel,
+		}
+		if err := bad.Verify(q1, g1, 3); err == nil {
+			t.Fatal("edge-dropped subgraph must be rejected")
+		}
+	}
+
+	// Center outside the subgraph.
+	outside := int32(-1)
+	for v := int32(0); v < int32(g1.NumNodes()); v++ {
+		if !good.Contains(v) {
+			outside = v
+			break
+		}
+	}
+	bad = &PerfectSubgraph{Center: outside, Nodes: good.Nodes, Edges: good.Edges, Rel: good.Rel}
+	if err := bad.Verify(q1, g1, 3); err == nil {
+		t.Fatal("foreign center must be rejected")
+	}
+
+	// Radius too small for the subgraph's extent.
+	if err := good.Verify(q1, g1, 1); err == nil {
+		t.Fatal("radius 1 cannot hold a 3-hop subgraph")
+	}
+}
+
+func TestMinimizedMatchingExpandsRelations(t *testing.T) {
+	// Q5's B1 and B2 minimize into one class; after matching with
+	// MinimizeQuery the reported relation must still be keyed by the
+	// ORIGINAL pattern nodes, with B1 and B2 mapping identically.
+	q5, _ := paperdata.Fig6aQ5()
+	gb := graph.NewBuilder(q5.Labels())
+	gb.AddNamedEdge("r", "R", "a", "A")
+	gb.AddNamedEdge("a", "A", "b", "B")
+	gb.AddNamedEdge("b", "B", "c", "C")
+	gb.AddNamedEdge("c", "C", "d", "D")
+	g := gb.Build()
+
+	plain := mustMatch(t, q5, g, Options{})
+	min := mustMatch(t, q5, g, Options{MinimizeQuery: true})
+	if plain.Len() != 1 || min.Len() != 1 {
+		t.Fatalf("Θ sizes: plain %d, minimized %d, want 1 each", plain.Len(), min.Len())
+	}
+	ps := min.Subgraphs[0]
+	bs := q5.NodesWithLabelName("B")
+	if len(bs) != 2 {
+		t.Fatal("fixture: want two B nodes")
+	}
+	if len(ps.Rel[bs[0]]) != 1 || len(ps.Rel[bs[1]]) != 1 || ps.Rel[bs[0]][0] != ps.Rel[bs[1]][0] {
+		t.Fatalf("B1/B2 relations diverge after expansion: %v vs %v", ps.Rel[bs[0]], ps.Rel[bs[1]])
+	}
+	// And they agree with the unminimized run.
+	pp := plain.Subgraphs[0]
+	for u := int32(0); u < int32(q5.NumNodes()); u++ {
+		if len(pp.Rel[u]) != len(ps.Rel[u]) {
+			t.Fatalf("relation of q%d differs: %v vs %v", u, pp.Rel[u], ps.Rel[u])
+		}
+		for i := range pp.Rel[u] {
+			if pp.Rel[u][i] != ps.Rel[u][i] {
+				t.Fatalf("relation of q%d differs: %v vs %v", u, pp.Rel[u], ps.Rel[u])
+			}
+		}
+	}
+}
+
+func TestMatchesOfAcrossSubgraphs(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	res := mustMatch(t, q3, g3, Options{})
+	p := q3.NodesWithLabelName("P")[0]
+	all := res.MatchesOf(p)
+	if len(all) != 3 {
+		t.Fatalf("union of P matches = %v, want P1,P2,P3", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatal("MatchesOf must be sorted and deduplicated")
+		}
+	}
+}

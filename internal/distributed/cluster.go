@@ -1,0 +1,227 @@
+package distributed
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// errBadPattern mirrors core's pattern validation for the distributed path.
+var errBadPattern = errors.New("distributed: pattern graph must be non-empty and connected")
+
+// nodeRecord is the unit of shipment: one node's label and adjacency.
+type nodeRecord struct {
+	label int32
+	out   []int32
+	in    []int32
+}
+
+func (r *nodeRecord) wireSize() int64 {
+	// 4 bytes label + 4 per adjacency entry + 8 header.
+	return int64(12 + 4*(len(r.out)+len(r.in)))
+}
+
+// Traffic aggregates the logical network usage of one distributed run.
+type Traffic struct {
+	// QueryBroadcastBytes is the cost of sending Q to every site.
+	QueryBroadcastBytes int64
+	// FetchRequests counts remote adjacency fetches (cache misses only).
+	FetchRequests int64
+	// FetchBytes is the response volume of those fetches.
+	FetchBytes int64
+	// ResultBytes is the volume of partial results returned to the
+	// coordinator.
+	ResultBytes int64
+}
+
+// TotalBytes sums all shipment.
+func (t Traffic) TotalBytes() int64 {
+	return t.QueryBroadcastBytes + t.FetchBytes + t.ResultBytes + 12*t.FetchRequests
+}
+
+// Cluster is a set of sites holding one fragment each. Fragments are
+// immutable after NewCluster, so sites serve remote reads without locking;
+// traffic is counted atomically.
+type Cluster struct {
+	part  Partition
+	sites []*site
+	// numNodes is the global node count (ids are global).
+	numNodes int
+	labels   *graph.Labels
+}
+
+type site struct {
+	id   int
+	frag map[int32]*nodeRecord
+}
+
+// NewCluster shards g by the partition. The global graph is not retained:
+// every read after construction goes through a fragment or a counted fetch.
+func NewCluster(g *graph.Graph, part Partition) (*Cluster, error) {
+	if err := part.Validate(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	c := &Cluster{part: part, numNodes: g.NumNodes(), labels: g.Labels()}
+	c.sites = make([]*site, part.K)
+	for i := range c.sites {
+		c.sites[i] = &site{id: i, frag: make(map[int32]*nodeRecord)}
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		rec := &nodeRecord{
+			label: g.Label(v),
+			out:   append([]int32(nil), g.Out(v)...),
+			in:    append([]int32(nil), g.In(v)...),
+		}
+		c.sites[part.Owner[v]].frag[v] = rec
+	}
+	return c, nil
+}
+
+// Match evaluates Q over the partitioned graph per Section 4.3 and returns
+// the same result set a centralized core.Match(q, g) produces, plus
+// traffic statistics. Sites run concurrently, one goroutine each.
+func (c *Cluster) Match(q *graph.Graph) (*core.Result, Traffic, error) {
+	dq, connected := graph.Diameter(q)
+	if q.NumNodes() == 0 || !connected {
+		return nil, Traffic{}, errBadPattern
+	}
+	var traffic Traffic
+	// Coordinator broadcasts the pattern to all K sites.
+	traffic.QueryBroadcastBytes = int64(c.part.K) * int64(8*(q.NumNodes()+q.NumEdges())+8)
+
+	var fetchRequests, fetchBytes atomic.Int64
+	partials := make([][]*core.PerfectSubgraph, c.part.K)
+	var wg sync.WaitGroup
+	for _, s := range c.sites {
+		wg.Add(1)
+		go func(s *site) {
+			defer wg.Done()
+			partials[s.id] = s.matchLocal(c, q, dq, &fetchRequests, &fetchBytes)
+		}(s)
+	}
+	wg.Wait()
+	traffic.FetchRequests = fetchRequests.Load()
+	traffic.FetchBytes = fetchBytes.Load()
+
+	// Coordinator union (Theorem 1 set semantics: dedupe identical
+	// subgraphs found from centers on different sites).
+	res := &core.Result{}
+	seen := make(map[string]bool)
+	for _, ps := range partials {
+		for _, p := range ps {
+			traffic.ResultBytes += int64(4 * (len(p.Nodes) + 2*len(p.Edges)))
+			key := subgraphKey(p)
+			if !seen[key] {
+				seen[key] = true
+				res.Subgraphs = append(res.Subgraphs, p)
+			} else {
+				res.Stats.Duplicates++
+			}
+		}
+	}
+	core.SortSubgraphs(res.Subgraphs)
+	return res, traffic, nil
+}
+
+// matchLocal evaluates the balls centered at the site's own nodes. Remote
+// node records are fetched once per site per query and cached.
+func (s *site) matchLocal(c *Cluster, q *graph.Graph, radius int, fetchRequests, fetchBytes *atomic.Int64) []*core.PerfectSubgraph {
+	cache := make(map[int32]*nodeRecord)
+	lookup := func(v int32) *nodeRecord {
+		if rec, ok := s.frag[v]; ok {
+			return rec
+		}
+		if rec, ok := cache[v]; ok {
+			return rec
+		}
+		owner := c.sites[c.part.Owner[v]]
+		rec := owner.frag[v]
+		fetchRequests.Add(1)
+		fetchBytes.Add(rec.wireSize())
+		cache[v] = rec
+		return rec
+	}
+
+	centers := make([]int32, 0, len(s.frag))
+	for v := range s.frag {
+		centers = append(centers, v)
+	}
+	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+
+	var out []*core.PerfectSubgraph
+	for _, center := range centers {
+		ball := assembleBall(c, lookup, center, radius)
+		ps, _ := core.EvalPreparedBall(q, ball, center)
+		if ps != nil {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// assembleBall builds Ĝ[center, radius] from fragment-local and fetched
+// records: undirected BFS over records, then the induced subgraph.
+func assembleBall(c *Cluster, lookup func(int32) *nodeRecord, center int32, radius int) *graph.Ball {
+	dist := map[int32]int32{center: 0}
+	frontier := []int32{center}
+	members := []int32{center}
+	for d := int32(1); int(d) <= radius && len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			rec := lookup(v)
+			visit := func(w int32) {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d
+					next = append(next, w)
+					members = append(members, w)
+				}
+			}
+			for _, w := range rec.out {
+				visit(w)
+			}
+			for _, w := range rec.in {
+				visit(w)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	toNew := make(map[int32]int32, len(members))
+	for i, v := range members {
+		toNew[v] = int32(i)
+	}
+	b := graph.NewBuilder(c.labels)
+	for _, v := range members {
+		b.AddNode(c.labels.Name(lookup(v).label))
+	}
+	for _, v := range members {
+		rec := lookup(v)
+		for _, w := range rec.out {
+			if nw, ok := toNew[w]; ok {
+				_ = b.AddEdge(toNew[v], nw)
+			}
+		}
+	}
+	dists := make([]int32, len(members))
+	for v, d := range dist {
+		dists[toNew[v]] = d
+	}
+	return graph.AssembleBall(b.Build(), toNew[center], radius, members, dists)
+}
+
+func subgraphKey(p *core.PerfectSubgraph) string {
+	buf := make([]byte, 0, 4*(len(p.Nodes)+2*len(p.Edges))+1)
+	for _, v := range p.Nodes {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	buf = append(buf, 0xFE)
+	for _, e := range p.Edges {
+		buf = append(buf, byte(e[0]), byte(e[0]>>8), byte(e[0]>>16), byte(e[0]>>24))
+		buf = append(buf, byte(e[1]), byte(e[1]>>8), byte(e[1]>>16), byte(e[1]>>24))
+	}
+	return string(buf)
+}

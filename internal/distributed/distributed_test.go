@@ -1,0 +1,252 @@
+package distributed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+func TestPartitioners(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 1)
+	for _, k := range []int{1, 2, 3, 7} {
+		hash := PartitionHash(g, k)
+		if err := hash.Validate(g.NumNodes()); err != nil {
+			t.Fatalf("hash partition invalid: %v", err)
+		}
+		bfs := PartitionBFS(g, k)
+		if err := bfs.Validate(g.NumNodes()); err != nil {
+			t.Fatalf("bfs partition invalid: %v", err)
+		}
+		if k > 1 {
+			// BFS partitioning should cut no more edges than round-robin
+			// on a graph with locality.
+			if bfs.CrossEdges(g) > hash.CrossEdges(g) {
+				t.Fatalf("k=%d: BFS cut %d edges, hash cut %d — expected BFS ≤ hash",
+					k, bfs.CrossEdges(g), hash.CrossEdges(g))
+			}
+		}
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	if err := (Partition{K: 0}).Validate(0); err == nil {
+		t.Fatal("K=0 should be invalid")
+	}
+	if err := (Partition{K: 2, Owner: []int32{0, 5}}).Validate(2); err == nil {
+		t.Fatal("site out of range should be invalid")
+	}
+	if err := (Partition{K: 2, Owner: []int32{0}}).Validate(2); err == nil {
+		t.Fatal("wrong owner length should be invalid")
+	}
+}
+
+func matchBoth(t *testing.T, q, g *graph.Graph, part Partition) (*core.Result, *core.Result, Traffic) {
+	t.Helper()
+	central, err := core.MatchWith(q, g, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, traffic, err := cluster.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return central, dist, traffic
+}
+
+func sameResults(a, b *core.Result) bool {
+	if len(a.Subgraphs) != len(b.Subgraphs) {
+		return false
+	}
+	for i := range a.Subgraphs {
+		if subgraphKey(a.Subgraphs[i]) != subgraphKey(b.Subgraphs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDistributedMatchesFig1(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	for _, k := range []int{1, 2, 3, 5} {
+		central, dist, traffic := matchBoth(t, q1, g1, PartitionHash(g1, k))
+		if !sameResults(central, dist) {
+			t.Fatalf("k=%d: distributed result differs from centralized", k)
+		}
+		if dist.Len() != 1 {
+			t.Fatalf("k=%d: want the single Gc subgraph, got %d", k, dist.Len())
+		}
+		if k == 1 && traffic.FetchRequests != 0 {
+			t.Fatalf("k=1 must not fetch anything, fetched %d", traffic.FetchRequests)
+		}
+	}
+}
+
+func TestDistributedLocalityBound(t *testing.T) {
+	// Every fetched node must lie within dQ (undirected) of the fetching
+	// site's fragment — the paper's data-locality bound. We check the
+	// aggregate implication: fetches are bounded by K * (nodes within dQ of
+	// a border), which for this graph is far below K * |V|.
+	g := generator.Synthetic(400, 1.15, 8, 3)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.1, Seed: 5})
+	dq, _ := graph.Diameter(q)
+	part := PartitionBFS(g, 4)
+	cluster, err := NewCluster(g, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traffic, err := cluster.Match(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hard bound: per site, at most every foreign node once.
+	if traffic.FetchRequests > int64(part.K*g.NumNodes()) {
+		t.Fatalf("fetches %d exceed the trivial bound", traffic.FetchRequests)
+	}
+	// Locality bound: count nodes within dq of each fragment and compare.
+	within := 0
+	for s := 0; s < part.K; s++ {
+		frag := graph.NewNodeSet(g.NumNodes())
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if part.Owner[v] == int32(s) {
+				frag.Add(v)
+			}
+		}
+		// Multi-source BFS from the fragment, depth dq.
+		dist := make([]int32, g.NumNodes())
+		for i := range dist {
+			dist[i] = -1
+		}
+		var frontier []int32
+		frag.ForEach(func(v int32) {
+			dist[v] = 0
+			frontier = append(frontier, v)
+		})
+		for d := int32(1); int(d) <= dq && len(frontier) > 0; d++ {
+			var next []int32
+			for _, v := range frontier {
+				visit := func(w int32) {
+					if dist[w] == -1 {
+						dist[w] = d
+						next = append(next, w)
+					}
+				}
+				for _, w := range g.Out(v) {
+					visit(w)
+				}
+				for _, w := range g.In(v) {
+					visit(w)
+				}
+			}
+			frontier = next
+		}
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if dist[v] > 0 && part.Owner[v] != int32(s) {
+				within++
+			}
+		}
+	}
+	if traffic.FetchRequests > int64(within) {
+		t.Fatalf("fetched %d records; locality bound allows at most %d", traffic.FetchRequests, within)
+	}
+	if traffic.TotalBytes() <= 0 {
+		t.Fatal("traffic accounting recorded nothing")
+	}
+}
+
+func TestDistributedRejectsBadPattern(t *testing.T) {
+	g := generator.Synthetic(10, 1.0, 2, 1)
+	cluster, err := NewCluster(g, PartitionHash(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := graph.NewBuilder(g.Labels()).Build()
+	if _, _, err := cluster.Match(empty); err == nil {
+		t.Fatal("empty pattern should error")
+	}
+}
+
+func TestBFSBeatsHashOnTraffic(t *testing.T) {
+	g := generator.Amazon(2000, 17)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.1, Seed: 2})
+	var fetches [2]int64
+	for i, part := range []Partition{PartitionBFS(g, 4), PartitionHash(g, 4)} {
+		cluster, err := NewCluster(g, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, traffic, err := cluster.Match(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fetches[i] = traffic.FetchBytes
+	}
+	if fetches[0] > fetches[1] {
+		t.Fatalf("BFS partition fetched %d bytes, hash %d — edge-cut locality should help",
+			fetches[0], fetches[1])
+	}
+}
+
+// TestQuickDistributedEqualsCentralized is the §4.3 correctness property
+// over random graphs and partitionings.
+func TestQuickDistributedEqualsCentralized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		gb := graph.NewBuilder(labels)
+		n := 8 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			gb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 0; i < n*2; i++ {
+			_ = gb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := gb.Build()
+		qb := graph.NewBuilder(labels)
+		nq := 2 + rng.Intn(3)
+		for i := 0; i < nq; i++ {
+			qb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 1; i < nq; i++ {
+			p := int32(rng.Intn(i))
+			if rng.Intn(2) == 0 {
+				_ = qb.AddEdge(p, int32(i))
+			} else {
+				_ = qb.AddEdge(int32(i), p)
+			}
+		}
+		q := qb.Build()
+
+		central, err := core.MatchWith(q, g, core.Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(5)
+		var part Partition
+		if rng.Intn(2) == 0 {
+			part = PartitionHash(g, k)
+		} else {
+			part = PartitionBFS(g, k)
+		}
+		cluster, err := NewCluster(g, part)
+		if err != nil {
+			return false
+		}
+		dist, _, err := cluster.Match(q)
+		if err != nil {
+			return false
+		}
+		return sameResults(central, dist)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

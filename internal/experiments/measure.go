@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/isomorphism"
+	"repro/internal/simulation"
+)
+
+// Algorithm names one matching algorithm of the study (Section 5,
+// "Algorithms": Match, Match+, Sim, TALE, MCS, VF2).
+type Algorithm string
+
+const (
+	AlgoSim       Algorithm = "Sim"
+	AlgoMatch     Algorithm = "Match"
+	AlgoMatchPlus Algorithm = "Match+"
+	AlgoVF2       Algorithm = "VF2"
+	AlgoTALE      Algorithm = "TALE"
+	AlgoMCS       Algorithm = "MCS"
+)
+
+// Measurement is the unified outcome of one algorithm on one (Q, G) pair.
+type Measurement struct {
+	Algo Algorithm
+	// Matched is the set of data nodes in the algorithm's matches: the
+	// match-graph nodes for Sim, the union of perfect subgraphs for
+	// Match/Match+, the union of images/matches for VF2/TALE/MCS.
+	Matched *graph.NodeSet
+	// Subgraphs counts distinct matched subgraphs (Sim returns at most one
+	// match relation, per the paper's note on Figures 7(i)-(n)).
+	Subgraphs int
+	// Sizes lists the node count of each matched subgraph.
+	Sizes []int
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// Run executes one algorithm.
+func (c Config) Run(algo Algorithm, q, g *graph.Graph) (Measurement, error) {
+	m := Measurement{Algo: algo}
+	start := time.Now()
+	switch algo {
+	case AlgoSim:
+		rel, ok := simulation.Simulation(q, g)
+		m.Elapsed = time.Since(start)
+		if ok {
+			m.Matched = rel.DataNodes(g.NumNodes())
+			m.Subgraphs = 1
+			m.Sizes = []int{m.Matched.Len()}
+		} else {
+			m.Matched = graph.NewNodeSet(g.NumNodes())
+		}
+	case AlgoMatch, AlgoMatchPlus:
+		opts := core.Options{Workers: c.Workers}
+		if algo == AlgoMatchPlus {
+			opts = core.PlusOptions()
+			opts.Workers = c.Workers
+		}
+		res, err := core.MatchWith(q, g, opts)
+		m.Elapsed = time.Since(start)
+		if err != nil {
+			return m, err
+		}
+		m.Matched = res.NodeUnion(g.NumNodes())
+		m.Subgraphs = res.Len()
+		for _, ps := range res.Subgraphs {
+			m.Sizes = append(m.Sizes, len(ps.Nodes))
+		}
+	case AlgoVF2:
+		enum, err := isomorphism.FindAll(q, g, isomorphism.Options{
+			MaxEmbeddings: c.VF2MaxEmbeddings,
+			MaxSteps:      c.VF2MaxSteps,
+		})
+		m.Elapsed = time.Since(start)
+		if err != nil {
+			return m, err
+		}
+		m.Matched = enum.NodeUnion(g.NumNodes())
+		images := enum.DistinctImages(q)
+		m.Subgraphs = len(images)
+		for _, img := range images {
+			m.Sizes = append(m.Sizes, len(img.Nodes))
+		}
+	case AlgoTALE:
+		matches := approx.TALE(q, g, approx.TALEOptions{})
+		m.Elapsed = time.Since(start)
+		m.Matched = graph.NewNodeSet(g.NumNodes())
+		m.Subgraphs = len(matches)
+		for _, tm := range matches {
+			nodes := tm.Nodes()
+			m.Sizes = append(m.Sizes, len(nodes))
+			for _, v := range nodes {
+				m.Matched.Add(v)
+			}
+		}
+	case AlgoMCS:
+		matches := approx.MCS(q, g, approx.MCSOptions{})
+		m.Elapsed = time.Since(start)
+		m.Matched = graph.NewNodeSet(g.NumNodes())
+		m.Subgraphs = len(matches)
+		for _, mm := range matches {
+			m.Sizes = append(m.Sizes, len(mm.Nodes))
+			for _, v := range mm.Nodes {
+				m.Matched.Add(v)
+			}
+		}
+	default:
+		return m, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+	return m, nil
+}
+
+// Closeness computes the paper's quality metric (Section 5, Exp-1):
+// #matches_subIso / #matches_found — the ratio of node counts, where the
+// numerator is VF2's matched nodes. VF2's own closeness is 1 by definition;
+// an algorithm that matched nothing scores 0.
+func Closeness(vf2, algo Measurement) float64 {
+	if algo.Matched == nil || algo.Matched.Len() == 0 {
+		return 0
+	}
+	if vf2.Matched == nil {
+		return 0
+	}
+	return float64(vf2.Matched.Len()) / float64(algo.Matched.Len())
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// qualityAlgos is the series order of Figures 7(c)-(h).
+var qualityAlgos = []Algorithm{AlgoVF2, AlgoMatch, AlgoMCS, AlgoTALE, AlgoSim}
+
+// countAlgos is the series order of Figures 7(i)-(n); Sim is omitted, as in
+// the paper ("We did not report Sim since it always returns at most one
+// matched subgraph").
+var countAlgos = []Algorithm{AlgoTALE, AlgoMCS, AlgoVF2, AlgoMatch}
+
+// VqSweep is the paper's pattern-size sweep: |Vq| from 2 to 20 step 2.
+func VqSweep() []int { return []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20} }
+
+// vSweepFractions are the ten data-size steps of Figures 7(f)-(h): the
+// paper varies |V| in ten equal steps up to the quality size.
+var vSweepFractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// ClosenessVaryVq regenerates Figures 7(c), 7(d), 7(e): closeness per
+// algorithm while the pattern size grows, on a fixed data graph.
+func (c Config) ClosenessVaryVq(ds Dataset) (*Table, error) {
+	id := map[Dataset]string{Amazon: "Fig 7(c)", YouTube: "Fig 7(d)", Synthetic: "Fig 7(e)"}[ds]
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("closeness vs |Vq| on %s (|V|=%d)", ds, c.QualitySize(ds)),
+		XLabel: "|Vq|",
+		Series: algoNames(qualityAlgos),
+	}
+	g := c.NewQualityData(ds, c.QualitySize(ds))
+	for _, vq := range VqSweep() {
+		row, err := c.qualityPoint(g, vq, c.PatternAlpha, t)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(vq), row.closeness)
+	}
+	return t, nil
+}
+
+// ClosenessVaryV regenerates Figures 7(f), 7(g), 7(h): closeness while the
+// data graph grows, with |Vq| = 10.
+func (c Config) ClosenessVaryV(ds Dataset) (*Table, error) {
+	id := map[Dataset]string{Amazon: "Fig 7(f)", YouTube: "Fig 7(g)", Synthetic: "Fig 7(h)"}[ds]
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("closeness vs |V| on %s (|Vq|=10)", ds),
+		XLabel: "|V|",
+		Series: algoNames(qualityAlgos),
+	}
+	max := c.QualitySize(ds)
+	for _, f := range vSweepFractions {
+		n := int(f * float64(max))
+		g := c.NewQualityData(ds, n)
+		row, err := c.qualityPoint(g, 10, c.PatternAlpha, t)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(n), row.closeness)
+	}
+	return t, nil
+}
+
+// SubgraphsVaryVq regenerates Figures 7(i), 7(j), 7(k): number of matched
+// subgraphs per algorithm while the pattern grows.
+func (c Config) SubgraphsVaryVq(ds Dataset) (*Table, error) {
+	id := map[Dataset]string{Amazon: "Fig 7(i)", YouTube: "Fig 7(j)", Synthetic: "Fig 7(k)"}[ds]
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("#matched subgraphs vs |Vq| on %s (|V|=%d)", ds, c.QualitySize(ds)),
+		XLabel: "|Vq|",
+		Series: algoNames(countAlgos),
+	}
+	g := c.NewQualityData(ds, c.QualitySize(ds))
+	for _, vq := range VqSweep() {
+		row, err := c.qualityPoint(g, vq, c.PatternAlpha, t)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(vq), row.counts)
+	}
+	return t, nil
+}
+
+// SubgraphsVaryV regenerates Figures 7(l), 7(m), 7(n).
+func (c Config) SubgraphsVaryV(ds Dataset) (*Table, error) {
+	id := map[Dataset]string{Amazon: "Fig 7(l)", YouTube: "Fig 7(m)", Synthetic: "Fig 7(n)"}[ds]
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("#matched subgraphs vs |V| on %s (|Vq|=10)", ds),
+		XLabel: "|V|",
+		Series: algoNames(countAlgos),
+	}
+	max := c.QualitySize(ds)
+	for _, f := range vSweepFractions {
+		n := int(f * float64(max))
+		g := c.NewQualityData(ds, n)
+		row, err := c.qualityPoint(g, 10, c.PatternAlpha, t)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(n), row.counts)
+	}
+	return t, nil
+}
+
+// Table3Sizes regenerates Table 3: the histogram of perfect-subgraph node
+// counts on the largest quality datasets, plus Sim's single match-graph
+// size for contrast (reported in the prose of Exp-1(4)).
+func (c Config) Table3Sizes() (*Table, error) {
+	t := &Table{
+		ID:     "Table 3",
+		Title:  "sizes of matched subgraphs found by Match (node-count buckets)",
+		XLabel: "dataset",
+		Series: []string{"[0,9]", "[10,19]", "[20,29]", "[30,39]", "[40,49]", ">=50", "Sim(single)"},
+	}
+	for _, ds := range []Dataset{Amazon, YouTube, Synthetic} {
+		g := c.NewQualityData(ds, c.QualitySize(ds))
+		var hist [6]int
+		simSize := 0
+		for _, q := range c.Patterns(g, 10) {
+			m, err := c.Run(AlgoMatch, q, g)
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range m.Sizes {
+				b := s / 10
+				if b > 5 {
+					b = 5
+				}
+				hist[b]++
+			}
+			sm, err := c.Run(AlgoSim, q, g)
+			if err != nil {
+				return nil, err
+			}
+			if sm.Matched.Len() > simSize {
+				simSize = sm.Matched.Len()
+			}
+		}
+		t.AddRow(string(ds), map[string]float64{
+			"[0,9]": float64(hist[0]), "[10,19]": float64(hist[1]),
+			"[20,29]": float64(hist[2]), "[30,39]": float64(hist[3]),
+			"[40,49]": float64(hist[4]), ">=50": float64(hist[5]),
+			"Sim(single)": float64(simSize),
+		})
+	}
+	return t, nil
+}
+
+// qualityRow carries one x-point of a quality experiment.
+type qualityRow struct {
+	closeness map[string]float64
+	counts    map[string]float64
+}
+
+// qualityPoint averages closeness and subgraph counts over the configured
+// pattern trials.
+func (c Config) qualityPoint(g *graph.Graph, vq int, alphaQ float64, t *Table) (qualityRow, error) {
+	row := qualityRow{closeness: map[string]float64{}, counts: map[string]float64{}}
+	patterns := c.PatternsAlpha(g, vq, alphaQ)
+	for _, q := range patterns {
+		vf2, err := c.Run(AlgoVF2, q, g)
+		if err != nil {
+			return row, err
+		}
+		if vf2.Matched.Len() == 0 {
+			t.Note("a sampled pattern had no VF2 match within the step cap; its trial scores closeness 0")
+		}
+		for _, algo := range qualityAlgos {
+			var m Measurement
+			if algo == AlgoVF2 {
+				m = vf2
+			} else {
+				m, err = c.Run(algo, q, g)
+				if err != nil {
+					return row, err
+				}
+			}
+			row.closeness[string(algo)] += Closeness(vf2, m)
+			row.counts[string(algo)] += float64(m.Subgraphs)
+		}
+	}
+	n := float64(len(patterns))
+	for k := range row.closeness {
+		row.closeness[k] /= n
+	}
+	for k := range row.counts {
+		row.counts[k] /= n
+	}
+	return row, nil
+}
+
+func algoNames(algos []Algorithm) []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = string(a)
+	}
+	return out
+}

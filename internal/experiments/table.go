@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a generic experiment result: one row per x value, one column per
+// series — mirroring how the paper plots its figures.
+type Table struct {
+	// ID is the paper artifact this table regenerates, e.g. "Fig 7(c)".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the swept parameter.
+	XLabel string
+	// Series names the columns in display order.
+	Series []string
+	// Rows holds the measurements.
+	Rows []Row
+	// Notes carries caveats (caps hit, substitutions) — never silent.
+	Notes []string
+}
+
+// Row is one x point.
+type Row struct {
+	X      string
+	Values map[string]float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(x string, values map[string]float64) {
+	t.Rows = append(t.Rows, Row{X: x, Values: values})
+}
+
+// Note records a caveat once.
+func (t *Table) Note(format string, args ...any) {
+	n := fmt.Sprintf(format, args...)
+	for _, existing := range t.Notes {
+		if existing == n {
+			return
+		}
+	}
+	t.Notes = append(t.Notes, n)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s", r.X)
+		for _, s := range t.Series {
+			v, ok := r.Values[s]
+			if !ok {
+				fmt.Fprintf(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%s", formatValue(v))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Format(&sb)
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

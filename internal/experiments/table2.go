@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/isomorphism"
+	"repro/internal/paperdata"
+	"repro/internal/simulation"
+)
+
+// Table2 re-derives the paper's Table 2 empirically: for every matching
+// notion (≺ simulation, ≺D dual, ≺LD strong, ≅ subgraph isomorphism) and
+// every preservation criterion, it searches the paper's fixtures plus
+// random instances for counterexamples. A cell holds 1 when no
+// counterexample was found (the paper's ✓) and 0 when one was found (×).
+//
+// The expected outcome is exactly the paper's matrix:
+//
+//	          children parents connectivity und.cycles locality bounded
+//	≺   (Sim)    1        0         0            0         0       0*
+//	≺D  (Dual)   1        1         1            1         0       0*
+//	≺LD (Match)  1        1         1            1         1       1
+//	≅   (VF2)    1        1         1            1         1       0
+//
+// (* the paper marks simulation/dual as returning a single — but possibly
+// graph-sized — match relation; the "bounded matches" criterion here checks
+// |matches| ≤ |V| with every match of bounded diameter, which only strong
+// simulation guarantees. Directed cycles are preserved by all four notions
+// — Proposition 2 — and are asserted by tests rather than tabulated.)
+func (c Config) Table2() (*Table, error) {
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "topology preservation, 1 = preserved on all tried instances, 0 = counterexample found",
+		XLabel: "notion",
+		Series: []string{"children", "parents", "connectivity", "und.cycles", "locality", "bounded"},
+	}
+	instances, err := table2Instances(c)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []notion{notionSim, notionDual, notionStrong, notionIso} {
+		row := map[string]float64{
+			"children": 1, "parents": 1, "connectivity": 1,
+			"und.cycles": 1, "locality": 1, "bounded": 1,
+		}
+		for _, inst := range instances {
+			matches, err := matchesOf(n, inst.q, inst.g)
+			if err != nil {
+				return nil, err
+			}
+			if len(matches) == 0 {
+				continue
+			}
+			dq, _ := graph.Diameter(inst.q)
+			diameterOK := true
+			for _, m := range matches {
+				if !m.childrenPreserved(inst.q, inst.g) {
+					row["children"] = 0
+				}
+				if !m.parentsPreserved(inst.q, inst.g) {
+					row["parents"] = 0
+				}
+				if !m.connected(inst.g) {
+					row["connectivity"] = 0
+				}
+				if graph.HasUndirectedCycle(inst.q) && !m.hasUndirectedCycle(inst.g) {
+					row["und.cycles"] = 0
+				}
+				if !m.withinDiameter(inst.g, 2*dq) {
+					row["locality"] = 0
+					diameterOK = false
+				}
+			}
+			// Criterion 6 (bounded matches): at most |V| matches, each
+			// small enough to inspect (bounded diameter).
+			if len(matches) > inst.g.NumNodes() || !diameterOK {
+				row["bounded"] = 0
+			}
+		}
+		t.AddRow(notionName(n), row)
+	}
+	t.Note("directed-cycle preservation (Proposition 2) holds for all notions; asserted in tests")
+	return t, nil
+}
+
+type notion int
+
+const (
+	notionSim notion = iota
+	notionDual
+	notionStrong
+	notionIso
+)
+
+func notionName(n notion) string {
+	return map[notion]string{
+		notionSim: "Sim", notionDual: "Dual", notionStrong: "Strong", notionIso: "Iso",
+	}[n]
+}
+
+type instance struct {
+	name string
+	q, g *graph.Graph
+}
+
+// table2Instances gathers the paper's counterexample fixtures plus random
+// instances.
+func table2Instances(c Config) ([]instance, error) {
+	var out []instance
+	q1, g1 := paperdata.Fig1()
+	out = append(out, instance{"fig1", q1, g1})
+	q3, g3 := paperdata.Fig2Q3()
+	out = append(out, instance{"fig2-q3", q3, g3})
+	q4, g4 := paperdata.Fig2Q4()
+	out = append(out, instance{"fig2-q4", q4, g4})
+	out = append(out, starBlowup(), longCycle(), treeVsCycle())
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	for i := 0; i < 20; i++ {
+		labels := graph.NewLabels()
+		q := randomConnectedQ(rng, labels)
+		g := randomG(rng, labels)
+		out = append(out, instance{"random", q, g})
+	}
+	return out, nil
+}
+
+// starBlowup witnesses unbounded match counts for isomorphism: pattern
+// C→{L,L}, data C→{L × 12} has C(12,2)·2 embeddings and 66 distinct images
+// on 13 data nodes.
+func starBlowup() instance {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	cq := qb.AddNode("C")
+	for i := 0; i < 2; i++ {
+		l := qb.AddNode("L")
+		_ = qb.AddEdge(cq, l)
+	}
+	gb := graph.NewBuilder(labels)
+	cg := gb.AddNode("C")
+	for i := 0; i < 12; i++ {
+		l := gb.AddNode("L")
+		_ = gb.AddEdge(cg, l)
+	}
+	return instance{"star-blowup", qb.Build(), gb.Build()}
+}
+
+// longCycle witnesses the locality violation of simulation and dual
+// simulation (the AI/DM cycle of Example 1 writ large): pattern A ⇄ B
+// (dQ = 1); the data alternating directed cycle of length 40 is one single
+// match graph of diameter 20 ≫ 2·dQ.
+func longCycle() instance {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	b := qb.AddNode("B")
+	_ = qb.AddEdge(a, b)
+	_ = qb.AddEdge(b, a)
+	gb := graph.NewBuilder(labels)
+	const pairs = 20
+	for i := 0; i < pairs; i++ {
+		gb.AddNode("A")
+		gb.AddNode("B")
+	}
+	for i := 0; i < pairs; i++ {
+		_ = gb.AddEdge(int32(2*i), int32(2*i+1))               // A_i -> B_i
+		_ = gb.AddEdge(int32(2*i+1), int32((2*i+2)%(2*pairs))) // B_i -> A_{i+1}
+	}
+	return instance{"long-cycle", qb.Build(), gb.Build()}
+}
+
+// treeVsCycle witnesses the undirected-cycle violation of simulation
+// (Example 1: "the undirected cycle with nodes HR, SE and Bio in Q1 matches
+// the tree rooted at HR1"): the pattern triangle HR→SE, HR→Bio, SE→Bio
+// simulation-matches a tree.
+func treeVsCycle() instance {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("hr", "HR", "se", "SE")
+	qb.AddNamedEdge("hr", "HR", "bio", "Bio")
+	qb.AddNamedEdge("se", "SE", "bio", "Bio")
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("HR1", "HR", "SE1", "SE")
+	gb.AddNamedEdge("HR1", "HR", "Bio1", "Bio")
+	gb.AddNamedEdge("SE1", "SE", "Bio2", "Bio")
+	return instance{"tree-vs-cycle", qb.Build(), gb.Build()}
+}
+
+func randomConnectedQ(rng *rand.Rand, labels *graph.Labels) *graph.Graph {
+	n := 2 + rng.Intn(4)
+	b := graph.NewBuilder(labels)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(3))))
+	}
+	for i := 1; i < n; i++ {
+		p := int32(rng.Intn(i))
+		if rng.Intn(2) == 0 {
+			_ = b.AddEdge(p, int32(i))
+		} else {
+			_ = b.AddEdge(int32(i), p)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func randomG(rng *rand.Rand, labels *graph.Labels) *graph.Graph {
+	n := 6 + rng.Intn(30)
+	b := graph.NewBuilder(labels)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(3))))
+	}
+	for i := 0; i < n*2; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// matchedSub is one match of a notion: a data subgraph plus the relation
+// that witnesses it (pattern node -> matched data nodes within the match).
+type matchedSub struct {
+	nodes map[int32]bool
+	edges [][2]int32
+	rel   map[int32][]int32
+}
+
+// matchesOf normalizes every notion to a list of matchedSubs:
+//
+//   - Sim: the single match graph of the maximum simulation (the paper's
+//     "result graph"), possibly disconnected;
+//   - Dual: the connected components of the dual match graph (Theorem 2
+//     licenses treating each as a match);
+//   - Strong: the maximum perfect subgraphs;
+//   - Iso: the distinct VF2 images.
+func matchesOf(n notion, q, g *graph.Graph) ([]matchedSub, error) {
+	switch n {
+	case notionSim, notionDual:
+		var rel simulation.Relation
+		var ok bool
+		if n == notionSim {
+			rel, ok = simulation.Simulation(q, g)
+		} else {
+			rel, ok = simulation.Dual(q, g)
+		}
+		if !ok {
+			return nil, nil
+		}
+		mg := simulation.BuildMatchGraph(q, g, rel)
+		if n == notionSim {
+			return []matchedSub{fromRelation(mg.Nodes.Slice(), mg.Edges, rel)}, nil
+		}
+		comps, compEdges := mg.Components()
+		var out []matchedSub
+		for i := range comps {
+			out = append(out, fromRelation(comps[i], compEdges[i], rel))
+		}
+		return out, nil
+	case notionStrong:
+		res, err := core.Match(q, g)
+		if err != nil {
+			return nil, err
+		}
+		var out []matchedSub
+		for _, ps := range res.Subgraphs {
+			m := matchedSub{nodes: map[int32]bool{}, edges: ps.Edges, rel: ps.Rel}
+			for _, v := range ps.Nodes {
+				m.nodes[v] = true
+			}
+			out = append(out, m)
+		}
+		return out, nil
+	case notionIso:
+		enum, err := isomorphism.FindAll(q, g, isomorphism.Options{MaxEmbeddings: 5000})
+		if err != nil {
+			return nil, err
+		}
+		var out []matchedSub
+		for _, img := range enum.DistinctImages(q) {
+			m := matchedSub{nodes: map[int32]bool{}, edges: img.Edges, rel: map[int32][]int32{}}
+			for _, v := range img.Nodes {
+				m.nodes[v] = true
+			}
+			// Relation: recompute per-image from the embeddings sharing it.
+			for _, emb := range enum.Embeddings {
+				if sameImage(img, emb) {
+					for u, v := range emb {
+						m.rel[int32(u)] = appendUnique(m.rel[int32(u)], v)
+					}
+				}
+			}
+			out = append(out, m)
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func sameImage(img isomorphism.Image, emb isomorphism.Embedding) bool {
+	in := make(map[int32]bool, len(img.Nodes))
+	for _, v := range img.Nodes {
+		in[v] = true
+	}
+	for _, v := range emb {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func appendUnique(xs []int32, v int32) []int32 {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+// fromRelation builds a matchedSub over explicit nodes/edges, restricting
+// the relation to those nodes.
+func fromRelation(nodes []int32, edges [][2]int32, rel simulation.Relation) matchedSub {
+	m := matchedSub{nodes: map[int32]bool{}, edges: edges, rel: map[int32][]int32{}}
+	for _, v := range nodes {
+		m.nodes[v] = true
+	}
+	for u := range rel {
+		rel[u].ForEach(func(v int32) {
+			if m.nodes[v] {
+				m.rel[int32(u)] = append(m.rel[int32(u)], v)
+			}
+		})
+	}
+	return m
+}
+
+// childrenPreserved: for every (u,v) in the match relation, every pattern
+// child edge (u,u') has a witness edge (v,v') inside the match.
+func (m matchedSub) childrenPreserved(q, g *graph.Graph) bool {
+	return m.edgePreserved(q, g, true)
+}
+
+// parentsPreserved: the dual condition.
+func (m matchedSub) parentsPreserved(q, g *graph.Graph) bool {
+	return m.edgePreserved(q, g, false)
+}
+
+func (m matchedSub) edgePreserved(q, g *graph.Graph, children bool) bool {
+	inRel := func(u int32, v int32) bool {
+		for _, x := range m.rel[u] {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		for _, v := range m.rel[u] {
+			var qAdj, gAdj []int32
+			if children {
+				qAdj = q.Out(u)
+			} else {
+				qAdj = q.In(u)
+			}
+			for _, u2 := range qAdj {
+				found := false
+				if children {
+					gAdj = g.Out(v)
+				} else {
+					gAdj = g.In(v)
+				}
+				for _, v2 := range gAdj {
+					if m.nodes[v2] && inRel(u2, v2) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// connected checks undirected connectivity over the match's own edges.
+func (m matchedSub) connected(g *graph.Graph) bool {
+	if len(m.nodes) <= 1 {
+		return true
+	}
+	adj := map[int32][]int32{}
+	for _, e := range m.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	var start int32 = -1
+	for v := range m.nodes {
+		start = v
+		break
+	}
+	seen := map[int32]bool{start: true}
+	queue := []int32{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == len(m.nodes)
+}
+
+// hasUndirectedCycle checks the match's edge multiset for a cycle
+// (component with ≥ as many edge instances as nodes).
+func (m matchedSub) hasUndirectedCycle(g *graph.Graph) bool {
+	// Union-find over match edges; a cycle exists iff some edge closes a
+	// loop (including self-loops and antiparallel pairs as two instances).
+	idx := map[int32]int{}
+	for v := range m.nodes {
+		idx[v] = len(idx)
+	}
+	uf := make([]int, len(idx))
+	for i := range uf {
+		uf[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	for _, e := range m.edges {
+		a, b := find(idx[e[0]]), find(idx[e[1]])
+		if a == b {
+			return true
+		}
+		uf[a] = b
+	}
+	return false
+}
+
+// withinDiameter checks that every pair of match nodes is within bound
+// undirected hops in the data graph — the locality criterion
+// (Proposition 3 for strong simulation).
+func (m matchedSub) withinDiameter(g *graph.Graph, bound int) bool {
+	for v := range m.nodes {
+		dist := graph.Distances(g, v)
+		for w := range m.nodes {
+			if dist[w] < 0 || int(dist[w]) > bound {
+				return false
+			}
+		}
+	}
+	return true
+}

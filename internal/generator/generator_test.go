@@ -1,0 +1,168 @@
+package generator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/isomorphism"
+	"repro/internal/paperdata"
+	"repro/internal/simulation"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	g := Synthetic(1000, 1.2, 200, 42)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("|V| = %d, want 1000", g.NumNodes())
+	}
+	want := int(math.Pow(1000, 1.2))
+	// Distinct-edge collisions and self-loop skips lose a few edges.
+	if g.NumEdges() < want*9/10 || g.NumEdges() > want {
+		t.Fatalf("|E| = %d, want ≈ %d (n^1.2)", g.NumEdges(), want)
+	}
+	if g.Labels().Len() > 200 {
+		t.Fatalf("labels = %d, want ≤ 200", g.Labels().Len())
+	}
+	if g.Labels().Len() < 150 {
+		t.Fatalf("labels = %d: far fewer than 200 distinct labels materialized", g.Labels().Len())
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(500, 1.2, 50, 7)
+	b := Synthetic(500, 1.2, 50, 7)
+	if graph.FormatString(a) != graph.FormatString(b) {
+		t.Fatal("same seed must reproduce the same graph")
+	}
+	c := Synthetic(500, 1.2, 50, 8)
+	if graph.FormatString(a) == graph.FormatString(c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSyntheticTinyGraphs(t *testing.T) {
+	if g := Synthetic(0, 1.2, 10, 1); g.NumNodes() != 0 {
+		t.Fatal("n=0 should produce the empty graph")
+	}
+	if g := Synthetic(1, 1.2, 10, 1); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("n=1 should produce one node and no edges")
+	}
+}
+
+func TestSamplePatternConnectedAndMatching(t *testing.T) {
+	g := Synthetic(2000, 1.2, 50, 3)
+	for _, vq := range []int{2, 4, 8, 12} {
+		q := SamplePattern(g, PatternOptions{Nodes: vq, Alpha: 1.2, Seed: int64(vq)})
+		if q.NumNodes() != vq {
+			t.Fatalf("|Vq| = %d, want %d", q.NumNodes(), vq)
+		}
+		if !q.IsConnected() {
+			t.Fatalf("sampled pattern disconnected (vq=%d)", vq)
+		}
+		// The defining guarantee: the sample embeds in g exactly.
+		enum, err := isomorphism.FindAll(q, g, isomorphism.Options{MaxEmbeddings: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enum.Embeddings) == 0 {
+			t.Fatalf("sampled pattern (vq=%d) has no isomorphic match in its source", vq)
+		}
+	}
+}
+
+func TestSamplePatternDensity(t *testing.T) {
+	g := Synthetic(3000, 1.3, 20, 5)
+	sparse := SamplePattern(g, PatternOptions{Nodes: 10, Alpha: 1.05, Seed: 1})
+	dense := SamplePattern(g, PatternOptions{Nodes: 10, Alpha: 1.35, Seed: 1})
+	if dense.NumEdges() < sparse.NumEdges() {
+		t.Fatalf("density knob inverted: α=1.35 gives %d edges, α=1.05 gives %d",
+			dense.NumEdges(), sparse.NumEdges())
+	}
+	if sparse.NumEdges() < sparse.NumNodes()-1 {
+		t.Fatal("pattern under spanning-tree size cannot be connected")
+	}
+}
+
+func TestSamplePatternDegenerate(t *testing.T) {
+	g := Synthetic(10, 1.0, 3, 2)
+	if q := SamplePattern(g, PatternOptions{Nodes: 0, Seed: 1}); q.NumNodes() != 0 {
+		t.Fatal("Nodes=0 should give empty pattern")
+	}
+	q := SamplePattern(g, PatternOptions{Nodes: 1, Seed: 1})
+	if q.NumNodes() != 1 || q.NumEdges() != 0 {
+		t.Fatalf("single-node sample wrong: %v", q)
+	}
+}
+
+func TestAmazonShape(t *testing.T) {
+	g := Amazon(5000, 9)
+	if g.NumNodes() != 5000 {
+		t.Fatalf("|V| = %d", g.NumNodes())
+	}
+	ratio := float64(g.NumEdges()) / float64(g.NumNodes())
+	if ratio < 2.2 || ratio > 4.5 {
+		t.Fatalf("edge/node ratio = %.2f, want ≈ 3.26 (the SNAP snapshot)", ratio)
+	}
+	// Reciprocity: a meaningful share of edges is bidirectional, enough
+	// for pattern QA's two-way co-purchase requirement.
+	recip, total := 0, 0
+	g.Edges(func(u, v int32) {
+		total++
+		if g.HasEdge(v, u) {
+			recip++
+		}
+	})
+	if frac := float64(recip) / float64(total); frac < 0.10 {
+		t.Fatalf("reciprocal fraction = %.3f, want ≥ 0.10", frac)
+	}
+	// All four QA categories must be populated.
+	for _, c := range []string{"Parenting&Families", "Children'sBooks", "Home&Garden", "Health,Mind&Body"} {
+		if len(g.NodesWithLabelName(c)) == 0 {
+			t.Fatalf("category %s missing", c)
+		}
+	}
+}
+
+func TestYouTubeDenserThanAmazon(t *testing.T) {
+	a := Amazon(3000, 1)
+	y := YouTube(3000, 1)
+	ra := float64(a.NumEdges()) / float64(a.NumNodes())
+	ry := float64(y.NumEdges()) / float64(y.NumNodes())
+	if ry <= ra {
+		t.Fatalf("YouTube (%.2f) should be denser than Amazon (%.2f)", ry, ra)
+	}
+	for _, c := range []string{"Entertainment", "Film&Animation", "Music", "Sports"} {
+		if len(y.NodesWithLabelName(c)) == 0 {
+			t.Fatalf("category %s missing", c)
+		}
+	}
+}
+
+func TestHeavyTailDegrees(t *testing.T) {
+	g := Amazon(8000, 4)
+	maxIn := 0
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	avgIn := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(maxIn) < 10*avgIn {
+		t.Fatalf("max in-degree %d vs avg %.1f: no heavy tail from preferential attachment", maxIn, avgIn)
+	}
+}
+
+func TestPaperPatternsMatchSimulatedDatasets(t *testing.T) {
+	// QA must dual-match the Amazon-like graph (the qualitative experiment
+	// of Fig. 7(a) depends on it), and QY the YouTube-like graph.
+	a := Amazon(20000, 2024)
+	qa := paperdata.PatternQA(a.Labels())
+	if _, ok := simulation.Dual(qa, a); !ok {
+		t.Fatal("QA does not dual-match the Amazon-like graph; reciprocity too low?")
+	}
+	y := YouTube(8000, 2024)
+	qy := paperdata.PatternQY(y.Labels())
+	if _, ok := simulation.Dual(qy, y); !ok {
+		t.Fatal("QY does not dual-match the YouTube-like graph")
+	}
+}

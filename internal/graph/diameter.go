@@ -1,0 +1,78 @@
+package graph
+
+// Distances returns the undirected shortest distance from start to every
+// node, with -1 for unreachable nodes (paper Section 2.1: dist is measured
+// on undirected paths).
+func Distances(g *Graph, start int32) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []int32{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		visit := func(w int32) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+		for _, w := range g.Out(v) {
+			visit(w)
+		}
+		for _, w := range g.In(v) {
+			visit(w)
+		}
+	}
+	return dist
+}
+
+// Dist returns the undirected shortest distance between u and v, or -1 when
+// they are disconnected.
+func Dist(g *Graph, u, v int32) int32 {
+	if u == v {
+		return 0
+	}
+	return Distances(g, u)[v]
+}
+
+// Diameter returns the diameter dG of g: the longest shortest undirected
+// distance between any pair of nodes. It requires g to be connected; the
+// second result is false otherwise (the diameter of a disconnected graph is
+// undefined in the paper). Runs one BFS per node — O(|V|(|V|+|E|)) — which
+// is fine for pattern graphs; data-graph diameters are never needed by the
+// algorithms.
+func Diameter(g *Graph) (int, bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, true
+	}
+	max := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		dist := Distances(g, v)
+		for _, d := range dist {
+			if d < 0 {
+				return 0, false
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return int(max), true
+}
+
+// Eccentricity returns the longest undirected shortest distance from v to
+// any node reachable from it.
+func Eccentricity(g *Graph, v int32) int {
+	max := int32(0)
+	for _, d := range Distances(g, v) {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable node-labeled directed graph. Nodes are dense int32
+// identifiers in [0, NumNodes()). Construct graphs with a Builder.
+//
+// Both forward and reverse adjacency lists are stored sorted, so HasEdge is
+// a binary search and neighbor iteration is cache-friendly. An index from
+// label to the sorted list of nodes carrying it supports the candidate
+// initialization step of every matching algorithm (line 2 of procedure
+// DualSim in the paper's Fig. 3).
+type Graph struct {
+	labels   *Labels
+	nodeLbl  []int32   // node -> label id
+	out      [][]int32 // node -> sorted successors
+	in       [][]int32 // node -> sorted predecessors
+	numEdges int
+	byLabel  map[int32][]int32 // label id -> sorted nodes
+	name     string
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate edges are tolerated and collapsed at Build time (the paper's
+// graphs are simple); self-loops are permitted.
+type Builder struct {
+	labels  *Labels
+	nodeLbl []int32
+	edges   [][2]int32
+	names   map[string]int32 // optional symbolic node names
+	name    string
+}
+
+// NewBuilder returns a Builder interning labels into labels. Passing nil
+// creates a fresh table; pattern and data graphs that will be matched
+// against each other must share one table.
+func NewBuilder(labels *Labels) *Builder {
+	if labels == nil {
+		labels = NewLabels()
+	}
+	return &Builder{labels: labels, names: make(map[string]int32)}
+}
+
+// SetName attaches a human-readable graph name used in String().
+func (b *Builder) SetName(name string) { b.name = name }
+
+// AddNode appends a node with the given label and returns its id.
+func (b *Builder) AddNode(label string) int32 {
+	id := int32(len(b.nodeLbl))
+	b.nodeLbl = append(b.nodeLbl, b.labels.Intern(label))
+	return id
+}
+
+// AddNamedNode appends a node addressable by a symbolic name (used by the
+// text format and hand-built paper examples). Re-adding an existing name
+// returns the original id without creating a node.
+func (b *Builder) AddNamedNode(name, label string) int32 {
+	if id, ok := b.names[name]; ok {
+		return id
+	}
+	id := b.AddNode(label)
+	b.names[name] = id
+	return id
+}
+
+// Node returns the id bound to a symbolic name, or -1.
+func (b *Builder) Node(name string) int32 {
+	if id, ok := b.names[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeLbl) }
+
+// AddEdge records the directed edge (u, v).
+func (b *Builder) AddEdge(u, v int32) error {
+	n := int32(len(b.nodeLbl))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) references unknown node (have %d nodes)", u, v, n)
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+	return nil
+}
+
+// AddNamedEdge records an edge between two symbolic names, creating the
+// endpoints with the given labels if necessary.
+func (b *Builder) AddNamedEdge(uName, uLabel, vName, vLabel string) {
+	u := b.AddNamedNode(uName, uLabel)
+	v := b.AddNamedNode(vName, vLabel)
+	// Endpoints exist by construction, so AddEdge cannot fail.
+	_ = b.AddEdge(u, v)
+}
+
+// Build freezes the accumulated nodes and edges into an immutable Graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.nodeLbl)
+	g := &Graph{
+		labels:  b.labels,
+		nodeLbl: append([]int32(nil), b.nodeLbl...),
+		out:     make([][]int32, n),
+		in:      make([][]int32, n),
+		byLabel: make(map[int32][]int32),
+		name:    b.name,
+	}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range b.edges {
+		outDeg[e[0]]++
+		inDeg[e[1]]++
+	}
+	for v := 0; v < n; v++ {
+		if outDeg[v] > 0 {
+			g.out[v] = make([]int32, 0, outDeg[v])
+		}
+		if inDeg[v] > 0 {
+			g.in[v] = make([]int32, 0, inDeg[v])
+		}
+	}
+	for _, e := range b.edges {
+		g.out[e[0]] = append(g.out[e[0]], e[1])
+		g.in[e[1]] = append(g.in[e[1]], e[0])
+	}
+	for v := 0; v < n; v++ {
+		g.out[v] = sortDedup(g.out[v])
+	}
+	// Rebuild reverse adjacency from the deduplicated forward lists so the
+	// two sides stay consistent when duplicates were dropped.
+	for v := range g.in {
+		g.in[v] = g.in[v][:0]
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.out[u] {
+			g.in[v] = append(g.in[v], int32(u))
+		}
+		g.numEdges += len(g.out[u])
+	}
+	for v := 0; v < n; v++ {
+		sort.Slice(g.in[v], func(i, j int) bool { return g.in[v][i] < g.in[v][j] })
+	}
+	for v := 0; v < n; v++ {
+		lbl := g.nodeLbl[v]
+		g.byLabel[lbl] = append(g.byLabel[lbl], int32(v))
+	}
+	return g
+}
+
+func sortDedup(xs []int32) []int32 {
+	if len(xs) < 2 {
+		return xs
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodeLbl) }
+
+// NumEdges returns |E| after duplicate collapsing.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Size returns |V| + |E|, the paper's |G|.
+func (g *Graph) Size() int { return g.NumNodes() + g.NumEdges() }
+
+// Name returns the graph's optional human-readable name.
+func (g *Graph) Name() string { return g.name }
+
+// Labels returns the intern table shared by this graph.
+func (g *Graph) Labels() *Labels { return g.labels }
+
+// Label returns the label id of node v.
+func (g *Graph) Label(v int32) int32 { return g.nodeLbl[v] }
+
+// LabelName returns the label string of node v.
+func (g *Graph) LabelName(v int32) string { return g.labels.Name(g.nodeLbl[v]) }
+
+// Out returns the sorted successors of v. The slice is shared; callers must
+// not mutate it.
+func (g *Graph) Out(v int32) []int32 { return g.out[v] }
+
+// In returns the sorted predecessors of v. The slice is shared; callers must
+// not mutate it.
+func (g *Graph) In(v int32) []int32 { return g.in[v] }
+
+// OutDegree returns the number of successors of v.
+func (g *Graph) OutDegree(v int32) int { return len(g.out[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Graph) InDegree(v int32) int { return len(g.in[v]) }
+
+// Degree returns the undirected degree of v (in + out).
+func (g *Graph) Degree(v int32) int { return len(g.out[v]) + len(g.in[v]) }
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj := g.out[u]
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// NodesWithLabel returns the sorted nodes carrying label id, sharing the
+// underlying slice.
+func (g *Graph) NodesWithLabel(label int32) []int32 { return g.byLabel[label] }
+
+// NodesWithLabelName returns the nodes carrying the given label string.
+func (g *Graph) NodesWithLabelName(name string) []int32 {
+	id := g.labels.ID(name)
+	if id == NoLabel {
+		return nil
+	}
+	return g.byLabel[id]
+}
+
+// Edges calls fn for every directed edge (u, v) in ascending (u, v) order.
+func (g *Graph) Edges(fn func(u, v int32)) {
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			fn(int32(u), v)
+		}
+	}
+}
+
+// EdgeList materializes all edges in ascending (u, v) order.
+func (g *Graph) EdgeList() [][2]int32 {
+	out := make([][2]int32, 0, g.numEdges)
+	g.Edges(func(u, v int32) { out = append(out, [2]int32{u, v}) })
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	name := g.name
+	if name == "" {
+		name = "graph"
+	}
+	return fmt.Sprintf("%s(|V|=%d, |E|=%d, labels=%d)", name, g.NumNodes(), g.NumEdges(), g.labels.Len())
+}
+
+// InducedSubgraph returns the subgraph over the given original node ids with
+// every edge of g whose endpoints both survive, re-indexed to [0, len(nodes)).
+// The second result maps new ids back to original ids (a copy of nodes in
+// sorted order); the third maps original ids to new ids for members.
+func (g *Graph) InducedSubgraph(nodes []int32) (*Graph, []int32, map[int32]int32) {
+	orig := append([]int32(nil), nodes...)
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	// Drop duplicates defensively.
+	orig = sortDedup(orig)
+	toNew := make(map[int32]int32, len(orig))
+	for i, v := range orig {
+		toNew[v] = int32(i)
+	}
+	b := NewBuilder(g.labels)
+	for _, v := range orig {
+		b.AddNode(g.LabelName(v))
+	}
+	for _, v := range orig {
+		nv := toNew[v]
+		for _, w := range g.out[v] {
+			if nw, ok := toNew[w]; ok {
+				_ = b.AddEdge(nv, nw)
+			}
+		}
+	}
+	sub := b.Build()
+	return sub, orig, toNew
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleText = `
+# headhunter pattern, Fig. 1
+graph Q1
+node hr HR
+node se SE
+node bio Bio
+node dm DM
+node ai AI
+edge hr se
+edge hr bio
+edge se bio
+edge dm bio
+edge dm ai
+edge ai dm
+`
+
+func TestParseSample(t *testing.T) {
+	g, err := ParseString(sampleText, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "Q1" {
+		t.Fatalf("name = %q, want Q1", g.Name())
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("got |V|=%d |E|=%d, want 5, 6", g.NumNodes(), g.NumEdges())
+	}
+	bio := g.NodesWithLabelName("Bio")
+	if len(bio) != 1 {
+		t.Fatalf("Bio nodes = %v", bio)
+	}
+	if got := g.InDegree(bio[0]); got != 3 {
+		t.Fatalf("Bio in-degree = %d, want 3", got)
+	}
+	d, ok := Diameter(g)
+	if !ok || d != 3 {
+		t.Fatalf("diameter = (%d,%v), want (3,true) per the paper", d, ok)
+	}
+}
+
+func TestParseImplicitNodes(t *testing.T) {
+	g, err := ParseString("edge a b\nedge b c\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumNodes(), g.NumEdges())
+	}
+	// Implicit nodes use their id as label.
+	if len(g.NodesWithLabelName("a")) != 1 {
+		t.Fatal("implicit node label missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node onlytwo",
+		"edge a",
+		"frobnicate x y",
+		"graph",
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c, nil); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	g, err := ParseString(sampleText, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatString(g)
+	g2, err := ParseString(text, nil)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if !sameGraph(g, g2) {
+		t.Fatalf("round trip changed the graph:\n%s\nvs\n%s", FormatString(g), FormatString(g2))
+	}
+}
+
+// sameGraph compares two graphs node-by-node assuming identical node order.
+func sameGraph(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumNodes()); v++ {
+		if a.LabelName(v) != b.LabelName(v) {
+			return false
+		}
+		ao, bo := a.Out(v), b.Out(v)
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RandomGraph builds a random graph for property tests: n nodes, roughly m
+// edge attempts, labels drawn from l choices.
+func RandomGraph(rng *rand.Rand, n, m, l int) *Graph {
+	b := NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(l))))
+	}
+	for i := 0; i < m; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		_ = b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomGraph(rng, 1+rng.Intn(30), rng.Intn(80), 1+rng.Intn(5))
+		g2, err := ParseString(FormatString(g), nil)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("bogus line", nil)
+}
+
+func TestFormatStableUnderComments(t *testing.T) {
+	withComments := "# c1\n\n" + sampleText + "\n# trailing\n"
+	g1, err := ParseString(withComments, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseString(sampleText, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatString(g1) != FormatString(g2) {
+		t.Fatal("comments changed parse result")
+	}
+	if !strings.Contains(FormatString(g1), "graph Q1") {
+		t.Fatal("graph name lost")
+	}
+}

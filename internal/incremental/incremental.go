@@ -1,0 +1,272 @@
+// Package incremental maintains strong-simulation results under edge
+// insertions and deletions — the paper's final future-work item (Section 6:
+// "incremental methods for strong simulation, minimizing unnecessary
+// recomputation in response to (frequent) changes to real-life graphs").
+//
+// The locality of strong simulation makes this tractable: the ball
+// Ĝ[w, dQ] can change only if w lies within dQ hops (undirected, in the
+// graph before or after the update) of an endpoint of the mutated edge.
+// An update therefore re-evaluates only those centers, keeping every other
+// cached perfect subgraph — exactly the property plain graph simulation
+// lacks (Example 7: a single edge deletion can flip the global match).
+package incremental
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Matcher owns a mutable data graph and the per-center match state for one
+// pattern.
+type Matcher struct {
+	q      *graph.Graph
+	radius int
+	labels *graph.Labels
+
+	nodeLbl []int32
+	out     []map[int32]struct{}
+	in      []map[int32]struct{}
+
+	// perCenter caches the perfect subgraph found in each center's ball
+	// (nil = none).
+	perCenter []*core.PerfectSubgraph
+
+	// lastRecomputed reports how many balls the previous update
+	// re-evaluated, for tests and instrumentation.
+	lastRecomputed int
+}
+
+// New builds a matcher for pattern q over an initial data graph g (sharing
+// q's label table) and evaluates every ball once.
+func New(q, g *graph.Graph) (*Matcher, error) {
+	dq, connected := graph.Diameter(q)
+	if q.NumNodes() == 0 || !connected {
+		return nil, fmt.Errorf("incremental: pattern must be non-empty and connected")
+	}
+	m := &Matcher{q: q, radius: dq, labels: g.Labels()}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		m.addNode(g.Label(v))
+	}
+	g.Edges(func(u, v int32) {
+		m.out[u][v] = struct{}{}
+		m.in[v][u] = struct{}{}
+	})
+	for v := int32(0); v < int32(len(m.nodeLbl)); v++ {
+		m.perCenter[v] = m.evalCenter(v)
+	}
+	m.lastRecomputed = len(m.nodeLbl)
+	return m, nil
+}
+
+// AddNode appends an isolated node with the given label and returns its id.
+// Its singleton ball is evaluated immediately (a one-node pattern can match
+// it); existing balls cannot be affected by an isolated node.
+func (m *Matcher) AddNode(label string) int32 {
+	v := m.addNode(m.labels.Intern(label))
+	m.perCenter[v] = m.evalCenter(v)
+	m.lastRecomputed = 1
+	return v
+}
+
+func (m *Matcher) addNode(label int32) int32 {
+	v := int32(len(m.nodeLbl))
+	m.nodeLbl = append(m.nodeLbl, label)
+	m.out = append(m.out, make(map[int32]struct{}))
+	m.in = append(m.in, make(map[int32]struct{}))
+	m.perCenter = append(m.perCenter, nil)
+	return v
+}
+
+// InsertEdge adds the directed edge (u, v) and re-evaluates affected balls.
+// Inserting an existing edge is a no-op.
+func (m *Matcher) InsertEdge(u, v int32) error {
+	if err := m.checkNodes(u, v); err != nil {
+		return err
+	}
+	if _, ok := m.out[u][v]; ok {
+		m.lastRecomputed = 0
+		return nil
+	}
+	// Affected centers: within radius of u or v before the change...
+	affected := m.nearEndpoints(u, v)
+	m.out[u][v] = struct{}{}
+	m.in[v][u] = struct{}{}
+	// ...or after it (the new edge can pull distant nodes into a ball).
+	m.union(affected, m.nearEndpoints(u, v))
+	m.recompute(affected)
+	return nil
+}
+
+// DeleteEdge removes the directed edge (u, v) and re-evaluates affected
+// balls. Deleting a missing edge is a no-op.
+func (m *Matcher) DeleteEdge(u, v int32) error {
+	if err := m.checkNodes(u, v); err != nil {
+		return err
+	}
+	if _, ok := m.out[u][v]; !ok {
+		m.lastRecomputed = 0
+		return nil
+	}
+	affected := m.nearEndpoints(u, v)
+	delete(m.out[u], v)
+	delete(m.in[v], u)
+	m.union(affected, m.nearEndpoints(u, v))
+	m.recompute(affected)
+	return nil
+}
+
+func (m *Matcher) checkNodes(u, v int32) error {
+	n := int32(len(m.nodeLbl))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("incremental: edge (%d,%d) references unknown node (have %d)", u, v, n)
+	}
+	return nil
+}
+
+// nearEndpoints returns the centers within radius (undirected) of u or v
+// under the current adjacency.
+func (m *Matcher) nearEndpoints(u, v int32) map[int32]bool {
+	affected := make(map[int32]bool)
+	m.bfsInto(u, affected)
+	m.bfsInto(v, affected)
+	return affected
+}
+
+func (m *Matcher) union(dst map[int32]bool, src map[int32]bool) {
+	for v := range src {
+		dst[v] = true
+	}
+}
+
+func (m *Matcher) bfsInto(start int32, seen map[int32]bool) {
+	dist := map[int32]int{start: 0}
+	frontier := []int32{start}
+	seen[start] = true
+	for d := 1; d <= m.radius && len(frontier) > 0; d++ {
+		var next []int32
+		for _, x := range frontier {
+			visit := func(w int32) {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+			for w := range m.out[x] {
+				visit(w)
+			}
+			for w := range m.in[x] {
+				visit(w)
+			}
+		}
+		frontier = next
+	}
+}
+
+func (m *Matcher) recompute(affected map[int32]bool) {
+	m.lastRecomputed = len(affected)
+	for w := range affected {
+		m.perCenter[w] = m.evalCenter(w)
+	}
+}
+
+// evalCenter rebuilds the ball around one center from the mutable adjacency
+// and evaluates it through the same code path as centralized Match.
+func (m *Matcher) evalCenter(center int32) *core.PerfectSubgraph {
+	if len(m.q.NodesWithLabel(m.nodeLbl[center])) == 0 {
+		return nil
+	}
+	dist := map[int32]int32{center: 0}
+	members := []int32{center}
+	frontier := []int32{center}
+	for d := int32(1); int(d) <= m.radius && len(frontier) > 0; d++ {
+		var next []int32
+		for _, x := range frontier {
+			visit := func(w int32) {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d
+					members = append(members, w)
+					next = append(next, w)
+				}
+			}
+			for w := range m.out[x] {
+				visit(w)
+			}
+			for w := range m.in[x] {
+				visit(w)
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	toNew := make(map[int32]int32, len(members))
+	b := graph.NewBuilder(m.labels)
+	for i, v := range members {
+		toNew[v] = int32(i)
+		b.AddNode(m.labels.Name(m.nodeLbl[v]))
+	}
+	for _, v := range members {
+		targets := make([]int32, 0, len(m.out[v]))
+		for w := range m.out[v] {
+			if _, ok := toNew[w]; ok {
+				targets = append(targets, toNew[w])
+			}
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, w := range targets {
+			_ = b.AddEdge(toNew[v], w)
+		}
+	}
+	dists := make([]int32, len(members))
+	for v, d := range dist {
+		dists[toNew[v]] = d
+	}
+	ball := graph.AssembleBall(b.Build(), toNew[center], m.radius, members, dists)
+	ps, _ := core.EvalPreparedBall(m.q, ball, center)
+	return ps
+}
+
+// Result assembles the current set of maximum perfect subgraphs, identical
+// to core.Match on the current graph.
+func (m *Matcher) Result() *core.Result {
+	res := &core.Result{}
+	seen := make(map[string]bool)
+	for _, ps := range m.perCenter {
+		if ps == nil {
+			continue
+		}
+		key := fmt.Sprintf("%v|%v", ps.Nodes, ps.Edges)
+		if seen[key] {
+			res.Stats.Duplicates++
+			continue
+		}
+		seen[key] = true
+		res.Subgraphs = append(res.Subgraphs, ps)
+	}
+	core.SortSubgraphs(res.Subgraphs)
+	return res
+}
+
+// Graph materializes the current mutable graph as an immutable snapshot
+// (tests compare against core.Match on it).
+func (m *Matcher) Graph() *graph.Graph {
+	b := graph.NewBuilder(m.labels)
+	for _, lbl := range m.nodeLbl {
+		b.AddNode(m.labels.Name(lbl))
+	}
+	for u := range m.out {
+		for v := range m.out[u] {
+			_ = b.AddEdge(int32(u), v)
+		}
+	}
+	return b.Build()
+}
+
+// LastRecomputed reports how many balls the previous update re-evaluated.
+func (m *Matcher) LastRecomputed() int { return m.lastRecomputed }
+
+// NumNodes returns the current node count.
+func (m *Matcher) NumNodes() int { return len(m.nodeLbl) }

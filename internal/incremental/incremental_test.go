@@ -1,0 +1,272 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+func sameAsFullRecompute(t *testing.T, m *Matcher) {
+	t.Helper()
+	want, err := core.MatchWith(m.q, m.Graph(), core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Result()
+	if len(got.Subgraphs) != len(want.Subgraphs) {
+		t.Fatalf("incremental Θ has %d subgraphs, full recompute %d", len(got.Subgraphs), len(want.Subgraphs))
+	}
+	for i := range got.Subgraphs {
+		g, w := got.Subgraphs[i], want.Subgraphs[i]
+		if len(g.Nodes) != len(w.Nodes) || len(g.Edges) != len(w.Edges) {
+			t.Fatalf("subgraph %d differs: %v vs %v", i, g, w)
+		}
+		for j := range g.Nodes {
+			if g.Nodes[j] != w.Nodes[j] {
+				t.Fatalf("subgraph %d node mismatch", i)
+			}
+		}
+	}
+}
+
+func TestIncrementalFig1Lifecycle(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	m, err := New(q1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 1 {
+		t.Fatal("initial state should find Gc")
+	}
+	sameAsFullRecompute(t, m)
+
+	// Delete SE2 -> Bio4: Bio4 loses its SE recommender, so the match
+	// disappears entirely. SE2 is the SE whose successor is the well-
+	// recommended biologist (in-degree 4), distinguishing it from SE1.
+	bioLabel := m.labels.ID("Bio")
+	se2 := findNode(t, m, "SE", func(v int32) bool {
+		for w := range m.out[v] {
+			if m.nodeLbl[w] == bioLabel && len(m.in[w]) == 4 {
+				return true
+			}
+		}
+		return false
+	})
+	var bio4 int32 = -1
+	for w := range m.out[se2] {
+		if m.nodeLbl[w] == bioLabel {
+			bio4 = w
+		}
+	}
+	if err := m.DeleteEdge(se2, bio4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 0 {
+		t.Fatal("deleting SE2->Bio4 must destroy the only match")
+	}
+	sameAsFullRecompute(t, m)
+	if m.LastRecomputed() == 0 || m.LastRecomputed() > m.NumNodes() {
+		t.Fatalf("recomputed %d balls", m.LastRecomputed())
+	}
+
+	// Reinsert: the match returns.
+	if err := m.InsertEdge(se2, bio4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 1 {
+		t.Fatal("reinsertion must restore Gc")
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func findNode(t *testing.T, m *Matcher, label string, pred func(int32) bool) int32 {
+	t.Helper()
+	id := m.labels.ID(label)
+	for v := int32(0); v < int32(m.NumNodes()); v++ {
+		if m.nodeLbl[v] == id && pred(v) {
+			return v
+		}
+	}
+	t.Fatalf("node with label %s not found", label)
+	return -1
+}
+
+func TestIncrementalLocalityBound(t *testing.T) {
+	// A long chain with the pattern far away: mutations at one end must
+	// not re-evaluate balls at the other end.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	const n = 60
+	for i := 0; i < n; i++ {
+		gb.AddNode("X")
+	}
+	for i := 0; i+1 < n; i++ {
+		_ = gb.AddEdge(int32(i), int32(i+1))
+	}
+	g := gb.Build()
+	m, err := New(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// radius dQ = 1: affected centers are within 1 hop of nodes 0 or 1.
+	if m.LastRecomputed() > 4 {
+		t.Fatalf("recomputed %d balls; locality bound is ≈3 for radius 1", m.LastRecomputed())
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func TestIncrementalNoOps(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	m, err := New(q1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inserting an existing edge or deleting a missing one recomputes
+	// nothing.
+	if err := m.InsertEdge(0, 1); err != nil && m.Graph().HasEdge(0, 1) {
+		t.Fatal(err)
+	}
+	before := m.Result().Len()
+	var u, v int32 = 0, 1
+	if !m.Graph().HasEdge(u, v) {
+		if err := m.DeleteEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		if m.LastRecomputed() != 0 {
+			t.Fatal("deleting a missing edge should be a no-op")
+		}
+	}
+	if m.Result().Len() != before {
+		t.Fatal("no-ops changed the result")
+	}
+}
+
+func TestIncrementalAddNodeAndGrow(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNode("A")
+	g := gb.Build()
+	m, err := New(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 0 {
+		t.Fatal("single A node cannot match A->B")
+	}
+	bNode := m.AddNode("B")
+	if err := m.InsertEdge(0, bNode); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 1 {
+		t.Fatalf("A->B should now match, got %d", m.Result().Len())
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func TestIncrementalRejectsBadInput(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNode("A")
+	qb.AddNode("B") // disconnected pattern
+	if _, err := New(qb.Build(), graph.NewBuilder(labels).Build()); err == nil {
+		t.Fatal("disconnected pattern should be rejected")
+	}
+	qb2 := graph.NewBuilder(labels)
+	qb2.AddNamedEdge("a", "A", "b", "B")
+	m, err := New(qb2.Build(), graph.NewBuilder(labels).Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(0, 1); err == nil {
+		t.Fatal("unknown nodes should be rejected")
+	}
+}
+
+// TestQuickIncrementalEqualsBatch applies random update sequences and
+// compares against full recomputation after every step.
+func TestQuickIncrementalEqualsBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		qb := graph.NewBuilder(labels)
+		nq := 2 + rng.Intn(3)
+		for i := 0; i < nq; i++ {
+			qb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 1; i < nq; i++ {
+			p := int32(rng.Intn(i))
+			if rng.Intn(2) == 0 {
+				_ = qb.AddEdge(p, int32(i))
+			} else {
+				_ = qb.AddEdge(int32(i), p)
+			}
+		}
+		q := qb.Build()
+
+		gb := graph.NewBuilder(labels)
+		n := 6 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			gb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 0; i < n; i++ {
+			_ = gb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		m, err := New(q, gb.Build())
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 12; step++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				if m.InsertEdge(u, v) != nil {
+					return false
+				}
+			} else {
+				if m.DeleteEdge(u, v) != nil {
+					return false
+				}
+			}
+			want, err := core.MatchWith(q, m.Graph(), core.Options{Workers: 1})
+			if err != nil {
+				return false
+			}
+			got := m.Result()
+			if len(got.Subgraphs) != len(want.Subgraphs) {
+				return false
+			}
+			for i := range got.Subgraphs {
+				a, b := got.Subgraphs[i], want.Subgraphs[i]
+				if len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) {
+					return false
+				}
+				for j := range a.Nodes {
+					if a.Nodes[j] != b.Nodes[j] {
+						return false
+					}
+				}
+				for j := range a.Edges {
+					if a.Edges[j] != b.Edges[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

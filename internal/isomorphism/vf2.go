@@ -1,0 +1,305 @@
+// Package isomorphism implements subgraph isomorphism via the VF2 algorithm
+// (Cordella, Foggia, Sansone, Vento, IEEE TPAMI 2004), the baseline the
+// paper compares strong simulation against (Section 5, algorithm "VF2").
+//
+// Matching follows the paper's definition (Section 1): an injective,
+// label-preserving mapping f from pattern nodes to data nodes such that
+// every pattern edge (u,u') maps to a data edge (f(u),f(u')); the matched
+// subgraph Gs is the image of the mapping. Distinct mappings can share an
+// image (pattern automorphisms), so match counting deduplicates images.
+package isomorphism
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options bound a VF2 enumeration. Subgraph isomorphism is NP-complete and
+// the number of embeddings can be exponential (Section 1), so production
+// callers should always set limits; the experiment harness does.
+type Options struct {
+	// MaxEmbeddings stops the search after this many embeddings (0 = all).
+	MaxEmbeddings int
+	// MaxSteps bounds the number of search-tree extensions (0 = 50M).
+	MaxSteps int
+}
+
+const defaultMaxSteps = 50_000_000
+
+// Embedding maps each pattern node to its data node.
+type Embedding []int32
+
+// Enumeration is the outcome of FindAll.
+type Enumeration struct {
+	Embeddings []Embedding
+	// Complete is false when a limit interrupted the search, in which case
+	// Embeddings is a prefix of the full answer.
+	Complete bool
+	// Steps counts search-tree extensions performed.
+	Steps int
+}
+
+// FindAll enumerates embeddings of q into g.
+func FindAll(q, g *graph.Graph, opts Options) (*Enumeration, error) {
+	if q.NumNodes() == 0 {
+		return nil, fmt.Errorf("isomorphism: empty pattern")
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	st := &state{
+		q:     q,
+		g:     g,
+		opts:  opts,
+		order: searchOrder(q),
+		coreQ: make([]int32, q.NumNodes()),
+		coreG: make([]int32, g.NumNodes()),
+		enum:  &Enumeration{Complete: true},
+	}
+	for i := range st.coreQ {
+		st.coreQ[i] = -1
+	}
+	for i := range st.coreG {
+		st.coreG[i] = -1
+	}
+	st.match(0)
+	return st.enum, nil
+}
+
+// Exists reports whether at least one embedding exists within the step
+// budget; the second result is false when the budget ran out undecided.
+func Exists(q, g *graph.Graph, maxSteps int) (found, decided bool) {
+	enum, err := FindAll(q, g, Options{MaxEmbeddings: 1, MaxSteps: maxSteps})
+	if err != nil {
+		return false, true
+	}
+	if len(enum.Embeddings) > 0 {
+		return true, true
+	}
+	return false, enum.Complete
+}
+
+// searchOrder picks a connected matching order: the first node maximizes
+// degree (most constrained first), each later node is undirected-adjacent to
+// an earlier one when possible. Connected patterns (the paper's assumption)
+// always admit a fully connected order, which lets candidate generation walk
+// data adjacency instead of scanning all data nodes.
+func searchOrder(q *graph.Graph) []int32 {
+	n := q.NumNodes()
+	used := make([]bool, n)
+	order := make([]int32, 0, n)
+	best := int32(0)
+	for v := int32(1); v < int32(n); v++ {
+		if q.Degree(v) > q.Degree(best) {
+			best = v
+		}
+	}
+	order = append(order, best)
+	used[best] = true
+	for len(order) < n {
+		next := int32(-1)
+		// Prefer the highest-degree node adjacent to the current partial
+		// order.
+		for v := int32(0); v < int32(n); v++ {
+			if used[v] || !adjacentToAny(q, v, order, used) {
+				continue
+			}
+			if next < 0 || q.Degree(v) > q.Degree(next) {
+				next = v
+			}
+		}
+		if next < 0 { // disconnected pattern: start a new seed
+			for v := int32(0); v < int32(n); v++ {
+				if !used[v] && (next < 0 || q.Degree(v) > q.Degree(next)) {
+					next = v
+				}
+			}
+		}
+		order = append(order, next)
+		used[next] = true
+	}
+	return order
+}
+
+func adjacentToAny(q *graph.Graph, v int32, order []int32, used []bool) bool {
+	for _, w := range q.Out(v) {
+		if used[w] {
+			return true
+		}
+	}
+	for _, w := range q.In(v) {
+		if used[w] {
+			return true
+		}
+	}
+	return false
+}
+
+type state struct {
+	q, g  *graph.Graph
+	opts  Options
+	order []int32
+	coreQ []int32 // pattern node -> data node or -1
+	coreG []int32 // data node -> pattern node or -1
+	enum  *Enumeration
+}
+
+// match extends the partial mapping with the depth-th pattern node of the
+// search order. Returns false when a limit fired and the search must stop.
+func (st *state) match(depth int) bool {
+	if depth == len(st.order) {
+		emb := make(Embedding, len(st.coreQ))
+		copy(emb, st.coreQ)
+		st.enum.Embeddings = append(st.enum.Embeddings, emb)
+		if st.opts.MaxEmbeddings > 0 && len(st.enum.Embeddings) >= st.opts.MaxEmbeddings {
+			st.enum.Complete = false // more embeddings may remain
+			return false
+		}
+		return true
+	}
+	u := st.order[depth]
+	for _, v := range st.candidates(u) {
+		st.enum.Steps++
+		if st.enum.Steps > st.opts.MaxSteps {
+			st.enum.Complete = false
+			return false
+		}
+		if !st.feasible(u, v) {
+			continue
+		}
+		st.coreQ[u] = v
+		st.coreG[v] = u
+		ok := st.match(depth + 1)
+		st.coreQ[u] = -1
+		st.coreG[v] = -1
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates generates data nodes to try for pattern node u: neighbors of
+// an already-mapped pattern neighbor when one exists (connected order makes
+// this the common case), otherwise all nodes with u's label.
+func (st *state) candidates(u int32) []int32 {
+	for _, p := range st.q.In(u) {
+		if vp := st.coreQ[p]; vp >= 0 {
+			return st.g.Out(vp)
+		}
+	}
+	for _, c := range st.q.Out(u) {
+		if vc := st.coreQ[c]; vc >= 0 {
+			return st.g.In(vc)
+		}
+	}
+	return st.g.NodesWithLabel(st.q.Label(u))
+}
+
+// feasible checks label, injectivity, adjacency consistency with every
+// mapped neighbor, and the degree lookahead.
+func (st *state) feasible(u, v int32) bool {
+	if st.coreG[v] >= 0 || st.g.Label(v) != st.q.Label(u) {
+		return false
+	}
+	// Monomorphism degree bound: v must offer at least as many distinct
+	// successors/predecessors as u requires.
+	if st.g.OutDegree(v) < st.q.OutDegree(u) || st.g.InDegree(v) < st.q.InDegree(u) {
+		return false
+	}
+	for _, uc := range st.q.Out(u) {
+		vc := st.coreQ[uc]
+		if uc == u {
+			vc = v // pattern self-loop: v must carry one too
+		}
+		if vc >= 0 && !st.g.HasEdge(v, vc) {
+			return false
+		}
+	}
+	for _, up := range st.q.In(u) {
+		vp := st.coreQ[up]
+		if up == u {
+			vp = v
+		}
+		if vp >= 0 && !st.g.HasEdge(vp, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Image is a matched subgraph: the node and edge image of one or more
+// embeddings.
+type Image struct {
+	Nodes []int32
+	Edges [][2]int32
+}
+
+// imageOf computes the image subgraph of an embedding under pattern q.
+func imageOf(q *graph.Graph, emb Embedding) Image {
+	img := Image{Nodes: make([]int32, len(emb))}
+	copy(img.Nodes, emb)
+	sort.Slice(img.Nodes, func(i, j int) bool { return img.Nodes[i] < img.Nodes[j] })
+	q.Edges(func(u, u2 int32) {
+		img.Edges = append(img.Edges, [2]int32{emb[u], emb[u2]})
+	})
+	sort.Slice(img.Edges, func(i, j int) bool {
+		if img.Edges[i][0] != img.Edges[j][0] {
+			return img.Edges[i][0] < img.Edges[j][0]
+		}
+		return img.Edges[i][1] < img.Edges[j][1]
+	})
+	w := 0
+	for i, e := range img.Edges {
+		if i == 0 || e != img.Edges[w-1] {
+			img.Edges[w] = e
+			w++
+		}
+	}
+	img.Edges = img.Edges[:w]
+	return img
+}
+
+func (img Image) signature() string {
+	buf := make([]byte, 0, 4*(len(img.Nodes)+2*len(img.Edges)))
+	for _, v := range img.Nodes {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	buf = append(buf, 0xFF)
+	for _, e := range img.Edges {
+		buf = binary.AppendUvarint(buf, uint64(e[0]))
+		buf = binary.AppendUvarint(buf, uint64(e[1]))
+	}
+	return string(buf)
+}
+
+// DistinctImages deduplicates the embeddings of an enumeration into matched
+// subgraphs — the unit the paper counts in Figures 7(i)-7(n).
+func (e *Enumeration) DistinctImages(q *graph.Graph) []Image {
+	seen := make(map[string]bool, len(e.Embeddings))
+	var out []Image
+	for _, emb := range e.Embeddings {
+		img := imageOf(q, emb)
+		sig := img.signature()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, img)
+		}
+	}
+	return out
+}
+
+// NodeUnion returns the set of data nodes covered by any embedding — the
+// closeness numerator of Section 5.
+func (e *Enumeration) NodeUnion(capacity int) *graph.NodeSet {
+	s := graph.NewNodeSet(capacity)
+	for _, emb := range e.Embeddings {
+		for _, v := range emb {
+			s.Add(v)
+		}
+	}
+	return s
+}

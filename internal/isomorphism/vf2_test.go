@@ -1,0 +1,306 @@
+package isomorphism
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+func findAll(t *testing.T, q, g *graph.Graph) *Enumeration {
+	t.Helper()
+	enum, err := FindAll(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enum.Complete {
+		t.Fatal("enumeration unexpectedly incomplete")
+	}
+	return enum
+}
+
+func TestVF2Fig1NoMatch(t *testing.T) {
+	// Example 2(1): no subgraph of G1 is isomorphic to Q1 — G1 has no
+	// 2-cycle for DM ⇄ AI.
+	q1, g1 := paperdata.Fig1()
+	enum := findAll(t, q1, g1)
+	if len(enum.Embeddings) != 0 {
+		t.Fatalf("VF2 found %d embeddings, want 0 (Example 2(1))", len(enum.Embeddings))
+	}
+}
+
+func TestVF2Fig2Q2TwoMatchGraphs(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	enum := findAll(t, q2, g2)
+	images := enum.DistinctImages(q2)
+	if len(images) != 2 {
+		t.Fatalf("VF2 found %d match graphs, want 2 (G2,1 and G2,2, Example 2(4))", len(images))
+	}
+	// Both images contain book2, the only dually-supported book.
+	for _, img := range images {
+		if len(img.Nodes) != 3 || len(img.Edges) != 2 {
+			t.Fatalf("image shape wrong: %v", img)
+		}
+	}
+}
+
+func TestVF2Fig2Q3TwoMatchGraphs(t *testing.T) {
+	q3, g3 := paperdata.Fig2Q3()
+	enum := findAll(t, q3, g3)
+	images := enum.DistinctImages(q3)
+	// G3,1 = {P1 ⇄ P2}, G3,2 = {P2 ⇄ P3}; each admits 2 automorphic
+	// embeddings.
+	if len(images) != 2 {
+		t.Fatalf("distinct images = %d, want 2 (Example 2(5))", len(images))
+	}
+	if len(enum.Embeddings) != 4 {
+		t.Fatalf("embeddings = %d, want 4 (2 per image)", len(enum.Embeddings))
+	}
+	if enum.NodeUnion(g3.NumNodes()).Len() != 3 {
+		t.Fatal("VF2 matches should cover P1,P2,P3")
+	}
+}
+
+func TestVF2Fig2Q4FourMatchGraphs(t *testing.T) {
+	q4, g4 := paperdata.Fig2Q4()
+	enum := findAll(t, q4, g4)
+	images := enum.DistinctImages(q4)
+	if len(images) != 4 {
+		t.Fatalf("distinct images = %d, want 4 (G4,i,j, Example 2(6))", len(images))
+	}
+}
+
+func TestVF2Triangle(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	for i := 0; i < 3; i++ {
+		qb.AddNode("X")
+	}
+	for i := 0; i < 3; i++ {
+		if err := qb.AddEdge(int32(i), int32((i+1)%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	for i := 0; i < 3; i++ {
+		gb.AddNode("X")
+	}
+	for i := 0; i < 3; i++ {
+		if err := gb.AddEdge(int32(i), int32((i+1)%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := gb.Build()
+	enum := findAll(t, q, g)
+	// A directed triangle has 3 rotations onto itself.
+	if len(enum.Embeddings) != 3 {
+		t.Fatalf("embeddings = %d, want 3 rotations", len(enum.Embeddings))
+	}
+	if imgs := enum.DistinctImages(q); len(imgs) != 1 {
+		t.Fatalf("images = %d, want 1", len(imgs))
+	}
+}
+
+func TestVF2NonInducedMatching(t *testing.T) {
+	// Pattern a -> b must match inside a 2-cycle: monomorphism ignores the
+	// extra reverse edge.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "b1", "B")
+	gb.AddNamedEdge("b1", "B", "a1", "A")
+	g := gb.Build()
+	enum := findAll(t, q, g)
+	if len(enum.Embeddings) != 1 {
+		t.Fatalf("embeddings = %d, want 1", len(enum.Embeddings))
+	}
+}
+
+func TestVF2InjectivityRequired(t *testing.T) {
+	// Pattern with two distinct A-children; data offers only one A child:
+	// simulation would match, isomorphism must not.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	r := qb.AddNode("R")
+	a1 := qb.AddNode("A")
+	a2 := qb.AddNode("A")
+	_ = qb.AddEdge(r, a1)
+	_ = qb.AddEdge(r, a2)
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gr := gb.AddNode("R")
+	ga := gb.AddNode("A")
+	_ = gb.AddEdge(gr, ga)
+	g := gb.Build()
+	enum := findAll(t, q, g)
+	if len(enum.Embeddings) != 0 {
+		t.Fatal("injectivity violated: one data node matched two pattern nodes")
+	}
+}
+
+func TestVF2Limits(t *testing.T) {
+	// Star pattern into a big star: many embeddings; cap them.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	c := qb.AddNode("C")
+	for i := 0; i < 2; i++ {
+		l := qb.AddNode("L")
+		_ = qb.AddEdge(c, l)
+	}
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gc := gb.AddNode("C")
+	for i := 0; i < 10; i++ {
+		l := gb.AddNode("L")
+		_ = gb.AddEdge(gc, l)
+	}
+	g := gb.Build()
+
+	full, err := FindAll(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Embeddings) != 90 { // 10*9 ordered leaf pairs
+		t.Fatalf("full embeddings = %d, want 90", len(full.Embeddings))
+	}
+	capped, err := FindAll(q, g, Options{MaxEmbeddings: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Embeddings) != 7 || capped.Complete {
+		t.Fatalf("capped: %d embeddings, complete=%v", len(capped.Embeddings), capped.Complete)
+	}
+	starved, err := FindAll(q, g, Options{MaxSteps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Complete {
+		t.Fatal("step-starved enumeration should be incomplete")
+	}
+}
+
+func TestVF2EmptyPattern(t *testing.T) {
+	labels := graph.NewLabels()
+	if _, err := FindAll(graph.NewBuilder(labels).Build(), graph.NewBuilder(labels).Build(), Options{}); err == nil {
+		t.Fatal("empty pattern should error")
+	}
+}
+
+func TestExists(t *testing.T) {
+	q2, g2 := paperdata.Fig2Q2()
+	found, decided := Exists(q2, g2, 1_000_000)
+	if !found || !decided {
+		t.Fatalf("Exists = (%v,%v), want (true,true)", found, decided)
+	}
+	q1, g1 := paperdata.Fig1()
+	found, decided = Exists(q1, g1, 1_000_000)
+	if found || !decided {
+		t.Fatalf("Exists = (%v,%v), want (false,true)", found, decided)
+	}
+}
+
+// TestQuickEmbeddingsAreValid validates every enumerated embedding against
+// the definition on random inputs.
+func TestQuickEmbeddingsAreValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		q := randomPattern(rng, labels)
+		g := randomData(rng, labels)
+		enum, err := FindAll(q, g, Options{MaxEmbeddings: 200})
+		if err != nil {
+			return false
+		}
+		for _, emb := range enum.Embeddings {
+			if !validEmbedding(q, g, emb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func validEmbedding(q, g *graph.Graph, emb Embedding) bool {
+	seen := map[int32]bool{}
+	for u, v := range emb {
+		if seen[v] || g.Label(v) != q.Label(int32(u)) {
+			return false
+		}
+		seen[v] = true
+	}
+	ok := true
+	q.Edges(func(u, u2 int32) {
+		if !g.HasEdge(emb[u], emb[u2]) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func randomPattern(rng *rand.Rand, labels *graph.Labels) *graph.Graph {
+	n := 2 + rng.Intn(4)
+	b := graph.NewBuilder(labels)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(3))))
+	}
+	for i := 1; i < n; i++ {
+		p := int32(rng.Intn(i))
+		if rng.Intn(2) == 0 {
+			_ = b.AddEdge(p, int32(i))
+		} else {
+			_ = b.AddEdge(int32(i), p)
+		}
+	}
+	// Extra random edges, including possible self-loops (a VF2 regression:
+	// pattern self-loops must be checked against the data node).
+	for i := 0; i < 2; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestVF2SelfLoopPattern(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	bq := qb.AddNode("B")
+	_ = qb.AddEdge(a, a)
+	_ = qb.AddEdge(a, bq)
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	a1 := gb.AddNode("A") // no self-loop
+	a2 := gb.AddNode("A") // self-loop
+	b1 := gb.AddNode("B")
+	b2 := gb.AddNode("B")
+	_ = gb.AddEdge(a1, b1)
+	_ = gb.AddEdge(a2, a2)
+	_ = gb.AddEdge(a2, b2)
+	g := gb.Build()
+	enum := findAll(t, q, g)
+	if len(enum.Embeddings) != 1 {
+		t.Fatalf("embeddings = %d, want only the self-looped a2->b2", len(enum.Embeddings))
+	}
+	if enum.Embeddings[0][a] != a2 {
+		t.Fatal("matched the A node without a self-loop")
+	}
+}
+
+func randomData(rng *rand.Rand, labels *graph.Labels) *graph.Graph {
+	n := 4 + rng.Intn(25)
+	b := graph.NewBuilder(labels)
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('A' + rng.Intn(3))))
+	}
+	for i := 0; i < n*2; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}

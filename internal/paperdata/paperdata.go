@@ -1,0 +1,266 @@
+// Package paperdata reconstructs the worked examples of Ma et al.,
+// "Capturing Topology in Graph Pattern Matching" (PVLDB 2011): the
+// headhunter network of Fig. 1, the book/people/paper graphs of Fig. 2, the
+// optimization examples of Fig. 6, and the real-life pattern graphs QA and
+// QY of Fig. 7. These fixtures drive both the test suite and the runnable
+// examples, and every behaviour the paper states about them is asserted by
+// tests in internal/core.
+package paperdata
+
+import "repro/internal/graph"
+
+// Fig1 returns the pattern Q1 and data graph G1 of Fig. 1, sharing a label
+// table. Q1 asks for a biologist (Bio) recommended by an HR person, a
+// software engineer (SE) and a data-mining expert (DM); the SE is also
+// recommended by HR, and an AI expert recommends the DM and is recommended
+// by a DM. Its diameter is 3.
+//
+// G1 has two connected components:
+//
+//   - a "bad" component where Bio1 is recommended only by HR1, Bio2 only by
+//     SE1, Bio3 only by DM specialists, and AI/DM experts sit on one long
+//     directed cycle AI1, DM1, ..., AIcycle, DMcycle, AI1 (cycleLen pairs);
+//   - the "good" component Gc around Bio4: HR2 recommends SE2 and Bio4, SE2
+//     recommends Bio4, and two DM/AI pairs mutually recommend each other,
+//     with both DMs recommending Bio4.
+//
+// Graph simulation matches all four biologists; strong simulation matches
+// only Bio4 (Example 1, Example 2(3), Example 3).
+func Fig1() (q1, g1 *graph.Graph) {
+	labels := graph.NewLabels()
+
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q1")
+	qb.AddNamedEdge("hr", "HR", "se", "SE")
+	qb.AddNamedEdge("hr", "HR", "bio", "Bio")
+	qb.AddNamedEdge("se", "SE", "bio", "Bio")
+	qb.AddNamedEdge("dm", "DM", "bio", "Bio")
+	qb.AddNamedEdge("dm", "DM", "ai", "AI")
+	qb.AddNamedEdge("ai", "AI", "dm", "DM")
+	q1 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G1")
+	// Bad component: tree rooted at HR1 plus the long AI/DM cycle.
+	gb.AddNamedEdge("HR1", "HR", "Bio1", "Bio")
+	gb.AddNamedEdge("HR1", "HR", "SE1", "SE")
+	gb.AddNamedEdge("SE1", "SE", "Bio2", "Bio")
+	const cycleLen = 3 // k in the paper's AI1, DM1, ..., AIk, DMk, AI1
+	ai := func(i int) string { return "AI" + string(rune('0'+i)) }
+	dm := func(i int) string { return "DM" + string(rune('0'+i)) }
+	for i := 1; i <= cycleLen; i++ {
+		gb.AddNamedEdge(ai(i), "AI", dm(i), "DM")
+		next := i + 1
+		if next > cycleLen {
+			next = 1
+		}
+		gb.AddNamedEdge(dm(i), "DM", ai(next), "AI")
+		gb.AddNamedEdge(dm(i), "DM", "Bio3", "Bio")
+	}
+
+	// Good component Gc around Bio4.
+	gb.AddNamedEdge("HR2", "HR", "SE2", "SE")
+	gb.AddNamedEdge("HR2", "HR", "Bio4", "Bio")
+	gb.AddNamedEdge("SE2", "SE", "Bio4", "Bio")
+	gb.AddNamedEdge("DM'1", "DM", "Bio4", "Bio")
+	gb.AddNamedEdge("DM'2", "DM", "Bio4", "Bio")
+	// The two AI'/DM' pairs mutually recommend around a 4-cycle, so every
+	// ball of radius 3 centered inside Gc covers all of Gc and the paper's
+	// "Gc is the only match" holds verbatim.
+	gb.AddNamedEdge("AI'1", "AI", "DM'1", "DM")
+	gb.AddNamedEdge("DM'1", "DM", "AI'2", "AI")
+	gb.AddNamedEdge("AI'2", "AI", "DM'2", "DM")
+	gb.AddNamedEdge("DM'2", "DM", "AI'1", "AI")
+	g1 = gb.Build()
+	return q1, g1
+}
+
+// Fig1GoodComponent returns the symbolic names of the nodes in Gc, the only
+// perfect subgraph of Fig. 1.
+func Fig1GoodComponent() []string {
+	return []string{"HR2", "SE2", "Bio4", "DM'1", "DM'2", "AI'1", "AI'2"}
+}
+
+// Fig2Q2 returns pattern Q2 (a book recommended by both a student ST and a
+// teacher TE) and data graph G2. Simulation matches book1 and book2; strong
+// simulation matches only book2, in a single match graph that is the union
+// of the two isomorphism match graphs (Example 2(4)).
+func Fig2Q2() (q2, g2 *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q2")
+	qb.AddNamedEdge("st", "ST", "book", "book")
+	qb.AddNamedEdge("te", "TE", "book", "book")
+	q2 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G2")
+	gb.AddNamedEdge("ST1", "ST", "book1", "book")
+	gb.AddNamedEdge("ST1", "ST", "book2", "book")
+	gb.AddNamedEdge("ST2", "ST", "book2", "book")
+	gb.AddNamedEdge("TE1", "TE", "book2", "book")
+	g2 = gb.Build()
+	return q2, g2
+}
+
+// Fig2Q3 returns pattern Q3 (two people who recommend each other; both
+// carry label P, diameter 1) and data graph G3: P1 ⇄ P2 ⇄ P3 and a P4 that
+// sits on the long way around (P3 → P4 → P1). Simulation and dual simulation
+// match all four; strong simulation drops P4 by locality (Example 2(5)).
+func Fig2Q3() (q3, g3 *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q3")
+	qb.AddNamedEdge("p", "P", "p'", "P")
+	qb.AddNamedEdge("p'", "P", "p", "P")
+	q3 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G3")
+	gb.AddNamedEdge("P1", "P", "P2", "P")
+	gb.AddNamedEdge("P2", "P", "P1", "P")
+	gb.AddNamedEdge("P2", "P", "P3", "P")
+	gb.AddNamedEdge("P3", "P", "P2", "P")
+	gb.AddNamedEdge("P3", "P", "P4", "P")
+	gb.AddNamedEdge("P4", "P", "P1", "P")
+	g3 = gb.Build()
+	return q3, g3
+}
+
+// Fig2Q4 returns pattern Q4 (a database paper citing both a social-network
+// paper and a graph-theory paper) and data graph G4. Simulation matches all
+// four SN papers; strong simulation keeps SN1 and SN2 only, by duality, in a
+// single match graph that subgraph isomorphism reports as four separate
+// match graphs (Example 2(6)).
+func Fig2Q4() (q4, g4 *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q4")
+	qb.AddNamedEdge("db", "db", "sn", "SN")
+	qb.AddNamedEdge("db", "db", "graph", "graph")
+	q4 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G4")
+	gb.AddNamedEdge("db1", "db", "SN1", "SN")
+	gb.AddNamedEdge("db1", "db", "SN2", "SN")
+	gb.AddNamedEdge("db1", "db", "graph1", "graph")
+	gb.AddNamedEdge("db1", "db", "graph2", "graph")
+	// SN3 is cited only by another SN paper; SN4 only by a graph paper.
+	gb.AddNamedEdge("SN1", "SN", "SN3", "SN")
+	gb.AddNamedEdge("graph1", "graph", "SN4", "SN")
+	g4 = gb.Build()
+	return q4, g4
+}
+
+// Fig6aQ5 returns the pattern Q5 of Fig. 6(a) whose minimization merges
+// {B1,B2}, {C1,C2} and {D1,D2} into single nodes (Example 4), and the
+// expected minimized pattern Q5m (R → A → B → C → D).
+func Fig6aQ5() (q5, q5m *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q5")
+	qb.AddNamedEdge("R", "R", "A", "A")
+	qb.AddNamedEdge("A", "A", "B1", "B")
+	qb.AddNamedEdge("A", "A", "B2", "B")
+	qb.AddNamedEdge("B1", "B", "C1", "C")
+	qb.AddNamedEdge("B2", "B", "C2", "C")
+	qb.AddNamedEdge("C1", "C", "D1", "D")
+	qb.AddNamedEdge("C2", "C", "D2", "D")
+	q5 = qb.Build()
+
+	mb := graph.NewBuilder(labels)
+	mb.SetName("Q5m")
+	mb.AddNamedEdge("R", "R", "A", "A")
+	mb.AddNamedEdge("A", "A", "B", "B")
+	mb.AddNamedEdge("B", "B", "C", "C")
+	mb.AddNamedEdge("C", "C", "D", "D")
+	q5m = mb.Build()
+	return q5, q5m
+}
+
+// Fig6b returns a pattern/data pair in the spirit of Fig. 6(b): the global
+// dual-simulation relation already excludes part of the data graph, and
+// inside some balls a border node loses its remaining support, which is
+// exactly the work dualFilter saves. Q6 is the chain A → B → C → D
+// (diameter 3); in G6 the chain A1 → B1 dead-ends (so B1 and A1 leave the
+// global relation) while two full chains survive.
+func Fig6b() (q6, g6 *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q6")
+	qb.AddNamedEdge("a", "A", "b", "B")
+	qb.AddNamedEdge("b", "B", "c", "C")
+	qb.AddNamedEdge("c", "C", "d", "D")
+	q6 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G6")
+	// Dead-end chain: A1 -> B1 (B1 has no C successor).
+	gb.AddNamedEdge("A1", "A", "B1", "B")
+	// Two complete chains, joined so G6 is one component.
+	gb.AddNamedEdge("A2", "A", "B2", "B")
+	gb.AddNamedEdge("B2", "B", "C2", "C")
+	gb.AddNamedEdge("C2", "C", "D2", "D")
+	gb.AddNamedEdge("A3", "A", "B3", "B")
+	gb.AddNamedEdge("B3", "B", "C3", "C")
+	gb.AddNamedEdge("C3", "C", "D3", "D")
+	gb.AddNamedEdge("D2", "D", "A3", "A") // bridge between the chains
+	gb.AddNamedEdge("B1", "B", "A2", "A") // hang the dead end off the first chain
+	g6 = gb.Build()
+	return q6, g6
+}
+
+// Fig6c returns the connectivity-pruning example of Fig. 6(c): Q7 is a
+// six-node chain alternating labels A and B (diameter 5); G7's candidate
+// nodes split into two components {A1,B1} and {A2,B2} linked only through a
+// label C that Q7 never mentions, so pruning discards the component not
+// containing the ball center (Example 6). dG7 = 4 < dQ7 = 5, so every ball
+// is all of G7.
+func Fig6c() (q7, g7 *graph.Graph) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.SetName("Q7")
+	qb.AddNamedEdge("a1", "A", "b1", "B")
+	qb.AddNamedEdge("b1", "B", "a2", "A")
+	qb.AddNamedEdge("a2", "A", "b2", "B")
+	qb.AddNamedEdge("b2", "B", "a3", "A")
+	qb.AddNamedEdge("a3", "A", "b3", "B")
+	q7 = qb.Build()
+
+	gb := graph.NewBuilder(labels)
+	gb.SetName("G7")
+	gb.AddNamedEdge("A1", "A", "B1", "B")
+	gb.AddNamedEdge("B1", "B", "C1", "C")
+	gb.AddNamedEdge("C1", "C", "A2", "A")
+	gb.AddNamedEdge("A2", "A", "B2", "B")
+	g7 = gb.Build()
+	return q7, g7
+}
+
+// PatternQA returns the Amazon pattern of Fig. 7(a): a Parenting & Families
+// book co-purchased with both Children's Books and Home & Garden books, and
+// co-purchased with Health, Mind & Body books in both directions.
+// The label table must be the one used by the data graph.
+func PatternQA(labels *graph.Labels) *graph.Graph {
+	qb := graph.NewBuilder(labels)
+	qb.SetName("QA")
+	qb.AddNamedEdge("pf", "Parenting&Families", "cb", "Children'sBooks")
+	qb.AddNamedEdge("pf", "Parenting&Families", "hg", "Home&Garden")
+	qb.AddNamedEdge("pf", "Parenting&Families", "hmb", "Health,Mind&Body")
+	qb.AddNamedEdge("hmb", "Health,Mind&Body", "pf", "Parenting&Families")
+	return qb.Build()
+}
+
+// PatternQY returns the YouTube pattern of Fig. 7(b): an Entertainment
+// video related to Film & Animation and Music videos, with a Sports video
+// related to the same Film & Animation and Music videos.
+func PatternQY(labels *graph.Labels) *graph.Graph {
+	qb := graph.NewBuilder(labels)
+	qb.SetName("QY")
+	qb.AddNamedEdge("ent", "Entertainment", "film", "Film&Animation")
+	qb.AddNamedEdge("ent", "Entertainment", "music", "Music")
+	qb.AddNamedEdge("sports", "Sports", "film", "Film&Animation")
+	qb.AddNamedEdge("sports", "Sports", "music", "Music")
+	return qb.Build()
+}

@@ -1,0 +1,109 @@
+package paperdata
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFig1Shape(t *testing.T) {
+	q1, g1 := Fig1()
+	if d, ok := graph.Diameter(q1); !ok || d != 3 {
+		t.Fatalf("dQ1 = (%d,%v), want 3 (paper Section 2.2)", d, ok)
+	}
+	if q1.NumNodes() != 5 || q1.NumEdges() != 6 {
+		t.Fatalf("Q1 = %v", q1)
+	}
+	if g1.IsConnected() {
+		t.Fatal("G1 must be disconnected (Example 1, topological structure (a))")
+	}
+	comps := graph.ConnectedComponents(g1)
+	// The good component has exactly 7 nodes.
+	found := false
+	for _, c := range comps {
+		if len(c) == len(Fig1GoodComponent()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 7-node good component among %d components", len(comps))
+	}
+	// Four biologists in total.
+	if got := len(g1.NodesWithLabelName("Bio")); got != 4 {
+		t.Fatalf("G1 has %d biologists, want 4", got)
+	}
+	// Q1 contains a directed 2-cycle (DM ⇄ AI) and an undirected cycle.
+	if !graph.HasDirectedCycle(q1) || !graph.HasUndirectedCycle(q1) {
+		t.Fatal("Q1 must contain both cycle kinds")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	q2, g2 := Fig2Q2()
+	if d, _ := graph.Diameter(q2); d != 2 {
+		t.Fatalf("dQ2 = %d, want 2", d)
+	}
+	if len(g2.NodesWithLabelName("book")) != 2 {
+		t.Fatal("G2 needs two books")
+	}
+
+	q3, g3 := Fig2Q3()
+	if d, _ := graph.Diameter(q3); d != 1 {
+		t.Fatalf("dQ3 = %d, want 1", d)
+	}
+	if g3.NumNodes() != 4 {
+		t.Fatal("G3 needs four people")
+	}
+	if !graph.HasDirectedCycle(q3) {
+		t.Fatal("Q3 is a 2-cycle")
+	}
+
+	q4, g4 := Fig2Q4()
+	if d, _ := graph.Diameter(q4); d != 2 {
+		t.Fatalf("dQ4 = %d, want 2", d)
+	}
+	if len(g4.NodesWithLabelName("SN")) != 4 {
+		t.Fatal("G4 needs four SN papers")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	q5, q5m := Fig6aQ5()
+	if q5.NumNodes() != 8 || q5m.NumNodes() != 5 {
+		t.Fatalf("Q5: %d nodes, Q5m: %d nodes", q5.NumNodes(), q5m.NumNodes())
+	}
+	q6, g6 := Fig6b()
+	if d, _ := graph.Diameter(q6); d != 3 {
+		t.Fatalf("dQ6 = %d, want 3", d)
+	}
+	if !g6.IsConnected() {
+		t.Fatal("G6 should be one component")
+	}
+	q7, g7 := Fig6c()
+	dq, _ := graph.Diameter(q7)
+	dg, _ := graph.Diameter(g7)
+	if dq != 5 || dg != 4 {
+		t.Fatalf("dQ7=%d dG7=%d, want 5 and 4 (Example 6)", dq, dg)
+	}
+}
+
+func TestPatternsShareLabels(t *testing.T) {
+	labels := graph.NewLabels()
+	qa := PatternQA(labels)
+	qy := PatternQY(labels)
+	if qa.Labels() != labels || qy.Labels() != labels {
+		t.Fatal("patterns must intern into the supplied table")
+	}
+	if d, _ := graph.Diameter(qa); d != 2 {
+		t.Fatalf("dQA = %d, want 2 (leaves meet through the hub)", d)
+	}
+	if qy.NumNodes() != 4 || qy.NumEdges() != 4 {
+		t.Fatalf("QY = %v", qy)
+	}
+	if !graph.HasDirectedCycle(qa) {
+		t.Fatal("QA needs the reciprocal co-purchase cycle")
+	}
+	if graph.HasDirectedCycle(qy) {
+		t.Fatal("QY is acyclic (directed)")
+	}
+}

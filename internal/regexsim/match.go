@@ -1,0 +1,165 @@
+package regexsim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/simulation"
+)
+
+// Pattern is a pattern graph whose edges may carry regular-expression path
+// constraints. Edges without an expression are plain (direct) edges.
+type Pattern struct {
+	Q     *graph.Graph
+	exprs map[[2]int32]*Regex
+	// MaxPathLen caps the length of data paths considered for constrained
+	// edges, keeping evaluation polynomial on cyclic expressions
+	// (default 6; unconstrained '...*' expressions explore up to this).
+	MaxPathLen int
+}
+
+// NewPattern wraps a pattern graph with all-plain edges.
+func NewPattern(q *graph.Graph) *Pattern {
+	return &Pattern{Q: q, exprs: make(map[[2]int32]*Regex), MaxPathLen: 6}
+}
+
+// SetExpr attaches an expression to pattern edge (u, v).
+func (p *Pattern) SetExpr(u, v int32, expr string) error {
+	if !p.Q.HasEdge(u, v) {
+		return fmt.Errorf("regexsim: (%d,%d) is not a pattern edge", u, v)
+	}
+	r, err := Compile(expr)
+	if err != nil {
+		return err
+	}
+	p.exprs[[2]int32{u, v}] = r
+	return nil
+}
+
+// Expr returns the expression of edge (u, v), nil for plain edges.
+func (p *Pattern) Expr(u, v int32) *Regex { return p.exprs[[2]int32{u, v}] }
+
+// reachable computes, for a data node v, the set of data nodes v' reachable
+// by a path whose intermediate labels satisfy r, up to maxLen edges.
+func reachable(g *graph.Graph, v int32, r *Regex, maxLen int) *graph.NodeSet {
+	out := graph.NewNodeSet(g.NumNodes())
+	type cfg struct {
+		node  int32
+		state string // canonical state-set key
+	}
+	start := map[int]bool{r.start: true}
+	r.closure(start)
+
+	// BFS over (node, NFA state set); accepting sets emit successors.
+	type item struct {
+		node int32
+		set  map[int]bool
+	}
+	frontier := []item{{v, start}}
+	visited := map[cfg]bool{{v, key(start)}: true}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []item
+		for _, it := range frontier {
+			for _, w := range g.Out(it.node) {
+				// Arriving at w: if the state set accepts the word so far,
+				// w is a valid endpoint (its own label is not consumed —
+				// the word covers intermediate nodes only).
+				if it.set[r.accept] {
+					out.Add(w)
+				}
+				// Continue through w: consume w's label.
+				stepped := r.step(it.set, g.LabelName(w))
+				if len(stepped) == 0 {
+					continue
+				}
+				c := cfg{w, key(stepped)}
+				if !visited[c] {
+					visited[c] = true
+					next = append(next, item{w, stepped})
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+func key(set map[int]bool) string {
+	// Small sets: a sorted byte key.
+	max := 0
+	for s := range set {
+		if s > max {
+			max = s
+		}
+	}
+	buf := make([]byte, max/8+1)
+	for s := range set {
+		buf[s/8] |= 1 << (s % 8)
+	}
+	return string(buf)
+}
+
+// Match computes the maximum regex-simulation relation: like graph
+// simulation, but a constrained pattern edge (u,u') requires a satisfying
+// path instead of a direct edge. Evaluation is a naive fixpoint over cached
+// constrained reachability, polynomial for fixed MaxPathLen.
+func Match(p *Pattern, g *graph.Graph) (simulation.Relation, bool) {
+	q := p.Q
+	rel := simulation.InitByLabel(q, g)
+
+	// Cache constrained reachability per (expression edge, data node).
+	reach := make(map[[2]int32]map[int32]*graph.NodeSet)
+	reachOf := func(e [2]int32, v int32) *graph.NodeSet {
+		m, ok := reach[e]
+		if !ok {
+			m = make(map[int32]*graph.NodeSet)
+			reach[e] = m
+		}
+		if s, ok := m[v]; ok {
+			return s
+		}
+		s := reachable(g, v, p.exprs[e], p.MaxPathLen)
+		m[v] = s
+		return s
+	}
+
+	satisfied := func(u, v, uc int32) bool {
+		e := [2]int32{u, uc}
+		r := p.exprs[e]
+		if r == nil {
+			for _, w := range g.Out(v) {
+				if rel[uc].Contains(w) {
+					return true
+				}
+			}
+			return false
+		}
+		found := false
+		reachOf(e, v).ForEach(func(w int32) {
+			if !found && rel[uc].Contains(w) {
+				found = true
+			}
+		})
+		return found
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for u := int32(0); u < int32(q.NumNodes()); u++ {
+			var bad []int32
+			rel[u].ForEach(func(v int32) {
+				for _, uc := range q.Out(u) {
+					if !satisfied(u, v, uc) {
+						bad = append(bad, v)
+						return
+					}
+				}
+			})
+			for _, v := range bad {
+				rel[u].Remove(v)
+				changed = true
+			}
+		}
+	}
+	return rel, rel.Total()
+}

@@ -1,0 +1,396 @@
+// Package regexsim extends strong simulation's substrate with regular
+// expressions as edge constraints — the paper's first future-work item
+// (Section 6: "we are to extend strong simulation by incorporating regular
+// expressions on edge types, along the same lines as [18]", i.e. Fan et
+// al., "Adding Regular Expressions to Graph Reachability and Pattern
+// Queries", ICDE 2011).
+//
+// Graphs here are node-labeled, so a pattern edge (u, u') carries a regular
+// expression over the labels of the *intermediate* nodes of the data path
+// realizing it: edge (u,u') with expression R is matched by a directed path
+// v = w0 → w1 → ... → wk → v' (k ≥ 0) whose intermediate label word
+// l(w1)...l(wk) belongs to L(R). The plain-edge case is the empty
+// expression (k = 0), and bounded simulation's "≤ k hops" is the expression
+// `.{0,k-1}` — both expressible here, which the tests exploit.
+//
+// Expressions support literals (label names), '.' (any label),
+// concatenation by juxtaposition with spaces, alternation '|', grouping
+// '(...)', and the quantifiers '*', '+', '?' and '{m,n}'. They compile to
+// a small Thompson NFA; path checking runs a product BFS over
+// (data node, NFA state set) pairs.
+package regexsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Regex is a compiled expression over node labels.
+type Regex struct {
+	src    string
+	states []nfaState
+	start  int
+	accept int
+}
+
+// nfaState has epsilon transitions and at most one consuming transition.
+type nfaState struct {
+	eps []int
+	// consume: -2 none, -1 any label ('.'), otherwise a label id resolved
+	// lazily by name.
+	consumeKind consumeKind
+	label       string
+	next        int
+}
+
+type consumeKind int
+
+const (
+	consumeNone consumeKind = iota
+	consumeAny
+	consumeLabel
+)
+
+// Compile parses an expression. Tokens are whitespace-separated label
+// literals, '.', '|', '(', ')', '*', '+', '?', '{m,n}'. The empty string
+// denotes the empty word (a direct edge).
+func Compile(src string) (*Regex, error) {
+	p := &parser{tokens: tokenize(src)}
+	frag, err := p.parseAlt()
+	if err != nil {
+		return nil, fmt.Errorf("regexsim: %q: %v", src, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("regexsim: %q: trailing tokens at %v", src, p.peek())
+	}
+	r := &Regex{src: src, states: p.states, start: frag.start, accept: frag.accept}
+	return r, nil
+}
+
+// MustCompile panics on error; for tests and literals.
+func MustCompile(src string) *Regex {
+	r, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// String returns the source expression.
+func (r *Regex) String() string { return r.src }
+
+// tokenize splits on whitespace but keeps metacharacters as their own
+// tokens even when adjacent to literals, e.g. "(a|b)*" works unspaced.
+func tokenize(src string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch c {
+		case ' ', '\t', '\n':
+			flush()
+		case '(', ')', '|', '*', '+', '?':
+			flush()
+			out = append(out, string(c))
+		case '{':
+			flush()
+			j := strings.IndexByte(src[i:], '}')
+			if j < 0 {
+				out = append(out, src[i:])
+				i = len(src)
+				break
+			}
+			out = append(out, src[i:i+j+1])
+			i += j
+		case '.':
+			flush()
+			out = append(out, ".")
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+type frag struct{ start, accept int }
+
+type parser struct {
+	tokens []string
+	pos    int
+	states []nfaState
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.tokens) }
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.tokens[p.pos]
+}
+
+func (p *parser) newState() int {
+	p.states = append(p.states, nfaState{consumeKind: consumeNone, next: -1})
+	return len(p.states) - 1
+}
+
+func (p *parser) addEps(from, to int) {
+	p.states[from].eps = append(p.states[from].eps, to)
+}
+
+// parseAlt: concat ('|' concat)*
+func (p *parser) parseAlt() (frag, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return frag{}, err
+	}
+	for p.peek() == "|" {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return frag{}, err
+		}
+		s, a := p.newState(), p.newState()
+		p.addEps(s, left.start)
+		p.addEps(s, right.start)
+		p.addEps(left.accept, a)
+		p.addEps(right.accept, a)
+		left = frag{s, a}
+	}
+	return left, nil
+}
+
+// parseConcat: repeat* (possibly empty — the empty word).
+func (p *parser) parseConcat() (frag, error) {
+	s := p.newState()
+	cur := frag{s, s}
+	for !p.eof() && p.peek() != "|" && p.peek() != ")" {
+		next, err := p.parseRepeat()
+		if err != nil {
+			return frag{}, err
+		}
+		p.addEps(cur.accept, next.start)
+		cur = frag{cur.start, next.accept}
+	}
+	return cur, nil
+}
+
+// parseRepeat: atom ('*' | '+' | '?' | '{m,n}')?
+func (p *parser) parseRepeat() (frag, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return frag{}, err
+	}
+	switch tok := p.peek(); {
+	case tok == "*":
+		p.pos++
+		s, a := p.newState(), p.newState()
+		p.addEps(s, atom.start)
+		p.addEps(s, a)
+		p.addEps(atom.accept, atom.start)
+		p.addEps(atom.accept, a)
+		return frag{s, a}, nil
+	case tok == "+":
+		p.pos++
+		a := p.newState()
+		p.addEps(atom.accept, atom.start)
+		p.addEps(atom.accept, a)
+		return frag{atom.start, a}, nil
+	case tok == "?":
+		p.pos++
+		s, a := p.newState(), p.newState()
+		p.addEps(s, atom.start)
+		p.addEps(s, a)
+		p.addEps(atom.accept, a)
+		return frag{s, a}, nil
+	case strings.HasPrefix(tok, "{"):
+		p.pos++
+		m, n, err := parseBounds(tok)
+		if err != nil {
+			return frag{}, err
+		}
+		return p.repeatBounded(atom, m, n)
+	}
+	return atom, nil
+}
+
+// repeatBounded expands {m,n} by duplicating the atom structurally. Atoms
+// are tiny (a literal or small group), so duplication is fine.
+func (p *parser) repeatBounded(atom frag, m, n int) (frag, error) {
+	if n < m {
+		return frag{}, fmt.Errorf("bad bounds {%d,%d}", m, n)
+	}
+	s := p.newState()
+	cur := frag{s, s}
+	for i := 0; i < n; i++ {
+		copyFrag := p.cloneFrag(atom)
+		if i >= m {
+			// Optional tail: can skip to the end.
+			p.addEps(cur.accept, copyFrag.accept)
+		}
+		p.addEps(cur.accept, copyFrag.start)
+		cur = frag{cur.start, copyFrag.accept}
+	}
+	return cur, nil
+}
+
+// cloneFrag deep-copies a fragment's states.
+func (p *parser) cloneFrag(f frag) frag {
+	// Collect reachable states of the fragment.
+	seen := map[int]int{}
+	var order []int
+	var walk func(int)
+	walk = func(s int) {
+		if _, ok := seen[s]; ok {
+			return
+		}
+		seen[s] = 0
+		order = append(order, s)
+		st := p.states[s]
+		for _, e := range st.eps {
+			walk(e)
+		}
+		if st.consumeKind != consumeNone && st.next >= 0 {
+			walk(st.next)
+		}
+	}
+	walk(f.start)
+	if _, ok := seen[f.accept]; !ok {
+		order = append(order, f.accept)
+		seen[f.accept] = 0
+	}
+	for _, old := range order {
+		seen[old] = p.newState()
+	}
+	for _, old := range order {
+		st := p.states[old]
+		cp := &p.states[seen[old]]
+		cp.consumeKind = st.consumeKind
+		cp.label = st.label
+		if st.next >= 0 {
+			cp.next = seen[st.next]
+		}
+		for _, e := range st.eps {
+			cp.eps = append(cp.eps, seen[e])
+		}
+	}
+	return frag{seen[f.start], seen[f.accept]}
+}
+
+func parseBounds(tok string) (int, int, error) {
+	if !strings.HasSuffix(tok, "}") {
+		return 0, 0, fmt.Errorf("unterminated %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	parts := strings.SplitN(body, ",", 2)
+	m, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad bound %q", tok)
+	}
+	n := m
+	if len(parts) == 2 {
+		n, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad bound %q", tok)
+		}
+	}
+	return m, n, nil
+}
+
+// parseAtom: literal | '.' | '(' alt ')'
+func (p *parser) parseAtom() (frag, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return frag{}, fmt.Errorf("unexpected end of expression")
+	case tok == "(":
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return frag{}, err
+		}
+		if p.peek() != ")" {
+			return frag{}, fmt.Errorf("missing ')'")
+		}
+		p.pos++
+		return inner, nil
+	case tok == ")" || tok == "|" || tok == "*" || tok == "+" || tok == "?":
+		return frag{}, fmt.Errorf("unexpected %q", tok)
+	case tok == ".":
+		p.pos++
+		s, a := p.newState(), p.newState()
+		p.states[s].consumeKind = consumeAny
+		p.states[s].next = a
+		return frag{s, a}, nil
+	default:
+		p.pos++
+		s, a := p.newState(), p.newState()
+		p.states[s].consumeKind = consumeLabel
+		p.states[s].label = tok
+		p.states[s].next = a
+		return frag{s, a}, nil
+	}
+}
+
+// closure expands a state set through epsilon transitions, in place.
+func (r *Regex) closure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range r.states[s].eps {
+			if !set[e] {
+				set[e] = true
+				stack = append(stack, e)
+			}
+		}
+	}
+}
+
+// MatchesEmpty reports whether the empty word (a direct edge) is accepted.
+func (r *Regex) MatchesEmpty() bool {
+	set := map[int]bool{r.start: true}
+	r.closure(set)
+	return set[r.accept]
+}
+
+// step consumes one label from a state set.
+func (r *Regex) step(set map[int]bool, label string) map[int]bool {
+	next := make(map[int]bool)
+	for s := range set {
+		st := r.states[s]
+		switch st.consumeKind {
+		case consumeAny:
+			next[st.next] = true
+		case consumeLabel:
+			if st.label == label {
+				next[st.next] = true
+			}
+		}
+	}
+	r.closure(next)
+	return next
+}
+
+// MatchesWord reports whether a label word is accepted (used by tests).
+func (r *Regex) MatchesWord(word []string) bool {
+	set := map[int]bool{r.start: true}
+	r.closure(set)
+	for _, w := range word {
+		set = r.step(set, w)
+		if len(set) == 0 {
+			return false
+		}
+	}
+	return set[r.accept]
+}

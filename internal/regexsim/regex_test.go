@@ -1,0 +1,247 @@
+package regexsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/simulation"
+)
+
+func TestCompileAndWords(t *testing.T) {
+	tests := []struct {
+		expr   string
+		accept [][]string
+		reject [][]string
+	}{
+		{"", [][]string{{}}, [][]string{{"a"}}},
+		{"a", [][]string{{"a"}}, [][]string{{}, {"b"}, {"a", "a"}}},
+		{"a b", [][]string{{"a", "b"}}, [][]string{{"a"}, {"b", "a"}}},
+		{"a|b", [][]string{{"a"}, {"b"}}, [][]string{{}, {"c"}}},
+		{"a*", [][]string{{}, {"a"}, {"a", "a", "a"}}, [][]string{{"b"}, {"a", "b"}}},
+		{"a+", [][]string{{"a"}, {"a", "a"}}, [][]string{{}}},
+		{"a?", [][]string{{}, {"a"}}, [][]string{{"a", "a"}}},
+		{".", [][]string{{"x"}, {"y"}}, [][]string{{}, {"x", "y"}}},
+		{".{0,2}", [][]string{{}, {"x"}, {"x", "y"}}, [][]string{{"x", "y", "z"}}},
+		{"a{2,3}", [][]string{{"a", "a"}, {"a", "a", "a"}}, [][]string{{"a"}, {"a", "a", "a", "a"}}},
+		{"(a|b) c", [][]string{{"a", "c"}, {"b", "c"}}, [][]string{{"c"}, {"a", "b"}}},
+		{"(a b)*", [][]string{{}, {"a", "b"}, {"a", "b", "a", "b"}}, [][]string{{"a"}, {"b", "a"}}},
+	}
+	for _, tc := range tests {
+		r, err := Compile(tc.expr)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", tc.expr, err)
+		}
+		for _, w := range tc.accept {
+			if !r.MatchesWord(w) {
+				t.Errorf("%q should accept %v", tc.expr, w)
+			}
+		}
+		for _, w := range tc.reject {
+			if r.MatchesWord(w) {
+				t.Errorf("%q should reject %v", tc.expr, w)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, expr := range []string{"(a", "a)", "*", "a{2,1}", "a{x}"} {
+		if _, err := Compile(expr); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+	// "|a" parses as the alternation of the empty word with 'a'.
+	r, err := Compile("|a")
+	if err != nil {
+		t.Fatalf("Compile(|a): %v", err)
+	}
+	if !r.MatchesEmpty() || !r.MatchesWord([]string{"a"}) {
+		t.Fatal("|a should accept ε and a")
+	}
+}
+
+func TestMatchesEmpty(t *testing.T) {
+	if !MustCompile("").MatchesEmpty() || !MustCompile("a*").MatchesEmpty() {
+		t.Fatal("empty word should be accepted")
+	}
+	if MustCompile("a").MatchesEmpty() {
+		t.Fatal("literal should not accept the empty word")
+	}
+}
+
+// chainGraph builds q: A -> B (with expr) and data A1 -> X... -> B1.
+func chainGraph(t *testing.T, intermediates []string) (*Pattern, *graph.Graph) {
+	t.Helper()
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	prev := gb.AddNamedNode("a1", "A")
+	for i, l := range intermediates {
+		next := gb.AddNamedNode(node("x", i), l)
+		_ = gb.AddEdge(prev, next)
+		prev = next
+	}
+	end := gb.AddNamedNode("b1", "B")
+	_ = gb.AddEdge(prev, end)
+	return NewPattern(q), gb.Build()
+}
+
+func node(p string, i int) string { return p + string(rune('0'+i)) }
+
+func TestRegexMatchViaPath(t *testing.T) {
+	p, g := chainGraph(t, []string{"X", "Y"})
+	// Plain edge: no direct A->B edge, so no match.
+	if _, ok := Match(p, g); ok {
+		t.Fatal("plain edges must not match through intermediates")
+	}
+	// Path constraint X Y: matches.
+	if err := p.SetExpr(0, 1, "X Y"); err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := Match(p, g)
+	if !ok {
+		t.Fatalf("expression 'X Y' should match; rel=%v", rel)
+	}
+	// Wrong order: fails.
+	if err := p.SetExpr(0, 1, "Y X"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Match(p, g); ok {
+		t.Fatal("'Y X' must not match path X,Y")
+	}
+	// Wildcards: '.{0,3}' matches.
+	if err := p.SetExpr(0, 1, ".{0,3}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Match(p, g); !ok {
+		t.Fatal("'.{0,3}' should match a 3-edge path")
+	}
+	// Kleene star over an alternation.
+	if err := p.SetExpr(0, 1, "(X|Y)*"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Match(p, g); !ok {
+		t.Fatal("'(X|Y)*' should match")
+	}
+}
+
+func TestRegexEmptyMeansDirectEdge(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "b1", "B")
+	g := gb.Build()
+	p := NewPattern(q)
+	if err := p.SetExpr(0, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Match(p, g); !ok {
+		t.Fatal("empty expression should accept the direct edge")
+	}
+}
+
+func TestRegexSetExprValidation(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	p := NewPattern(qb.Build())
+	if err := p.SetExpr(1, 0, "x"); err == nil {
+		t.Fatal("non-edge should be rejected")
+	}
+	if err := p.SetExpr(0, 1, "(unclosed"); err == nil {
+		t.Fatal("bad expression should be rejected")
+	}
+	if p.Expr(0, 1) != nil {
+		t.Fatal("failed SetExpr must not leave an expression behind")
+	}
+}
+
+// TestQuickPlainRegexEqualsSimulation: with no expressions attached,
+// regex-simulation is exactly graph simulation.
+func TestQuickPlainRegexEqualsSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		qb := graph.NewBuilder(labels)
+		nq := 2 + rng.Intn(4)
+		for i := 0; i < nq; i++ {
+			qb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 1; i < nq; i++ {
+			p := int32(rng.Intn(i))
+			if rng.Intn(2) == 0 {
+				_ = qb.AddEdge(p, int32(i))
+			} else {
+				_ = qb.AddEdge(int32(i), p)
+			}
+		}
+		q := qb.Build()
+		gb := graph.NewBuilder(labels)
+		n := 5 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			gb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 0; i < n*2; i++ {
+			_ = gb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := gb.Build()
+
+		rRel, rOK := Match(NewPattern(q), g)
+		sRel, sOK := simulation.Simulation(q, g)
+		return rOK == sOK && rRel.Equal(sRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWildcardBoundEqualsBoundedSim: the expression '.{0,k-1}' on an
+// edge is bounded simulation with bound k.
+func TestQuickWildcardBoundEqualsBoundedSim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		qb := graph.NewBuilder(labels)
+		qb.AddNamedEdge("a", "A", "b", "B")
+		q := qb.Build()
+		gb := graph.NewBuilder(labels)
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			gb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 0; i < n*2; i++ {
+			_ = gb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := gb.Build()
+
+		k := 1 + rng.Intn(3)
+		rp := NewPattern(q)
+		if err := rp.SetExpr(0, 1, wildcardBound(k)); err != nil {
+			return false
+		}
+		rRel, rOK := Match(rp, g)
+
+		bp := simulation.NewBoundedPattern(q)
+		if err := bp.SetBound(0, 1, k); err != nil {
+			return false
+		}
+		bRel, bOK := simulation.Bounded(bp, g)
+		return rOK == bOK && rRel.Equal(bRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func wildcardBound(k int) string {
+	if k == 1 {
+		return ""
+	}
+	return ".{0," + string(rune('0'+k-1)) + "}"
+}

@@ -1,0 +1,70 @@
+package simulation
+
+import "repro/internal/graph"
+
+// Bisimulation computes the maximum bisimulation relation B between Q and G
+// (paper Section 3.2): (u,v) ∈ B requires equal labels, every pattern edge
+// (u,u') matched by a data edge (v,v') with (u',v') ∈ B, and every data edge
+// (v,v') matched by a pattern edge (u,u') with (u',v') ∈ B.
+//
+// Q ∼ G (Q matches G via bisimulation) iff every pattern node and every
+// data node appears in B. The paper notes that graph bisimulation is
+// PTIME but *subgraph* bisimulation — finding subgraphs Gs with Q ∼ Gs — is
+// NP-hard (Dovier & Piazza), which is why strong simulation stops at dual
+// simulation; this implementation exists for the boundary tests of
+// Section 3.2.
+func Bisimulation(q, g *graph.Graph) (Relation, bool) {
+	rel := InitByLabel(q, g)
+	for changed := true; changed; {
+		changed = false
+		for u := int32(0); u < int32(q.NumNodes()); u++ {
+			var bad []int32
+			rel[u].ForEach(func(v int32) {
+				if !bisimValid(q, g, rel, u, v) {
+					bad = append(bad, v)
+				}
+			})
+			for _, v := range bad {
+				rel[u].Remove(v)
+				changed = true
+			}
+		}
+	}
+	// Totality both ways: every pattern node simulated by G and every data
+	// node simulated back by Q.
+	if !rel.Total() {
+		return rel, false
+	}
+	covered := rel.DataNodes(g.NumNodes())
+	return rel, covered.Len() == g.NumNodes()
+}
+
+func bisimValid(q, g *graph.Graph, rel Relation, u, v int32) bool {
+	// Forward: Q's moves must be matched by G.
+	for _, uc := range q.Out(u) {
+		found := false
+		for _, vc := range g.Out(v) {
+			if rel[uc].Contains(vc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// Backward: G's moves must be matched by Q.
+	for _, vc := range g.Out(v) {
+		found := false
+		for _, uc := range q.Out(u) {
+			if rel[uc].Contains(vc) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,239 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// boundedFixture: pattern A -> B; data A1 -> X -> B1 (a 2-hop path).
+func boundedFixture(t *testing.T) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "x", "X")
+	gb.AddNamedEdge("x", "X", "b1", "B")
+	return q, gb.Build()
+}
+
+func TestBoundedDefaultsToPlainEdges(t *testing.T) {
+	q, g := boundedFixture(t)
+	bq := NewBoundedPattern(q)
+	// Bound 1: the 2-hop path must NOT satisfy the edge.
+	if _, ok := Bounded(bq, g); ok {
+		t.Fatal("bound 1 should behave like plain simulation (no direct A->B edge)")
+	}
+	// Plain simulation agrees.
+	if _, ok := Simulation(q, g); ok {
+		t.Fatal("fixture broken: plain simulation should fail")
+	}
+}
+
+func TestBoundedTwoHops(t *testing.T) {
+	q, g := boundedFixture(t)
+	bq := NewBoundedPattern(q)
+	a := q.NodesWithLabelName("A")[0]
+	b := q.NodesWithLabelName("B")[0]
+	if err := bq.SetBound(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := Bounded(bq, g)
+	if !ok {
+		t.Fatal("bound 2 should match the 2-hop path (Fan et al. [19] semantics)")
+	}
+	if rel[a].Len() != 1 || rel[b].Len() != 1 {
+		t.Fatalf("relation %v, want exactly a1 and b1", rel)
+	}
+}
+
+func TestBoundedUnbounded(t *testing.T) {
+	// A long chain: unbounded edge ("*") reaches any distance.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	prev := gb.AddNamedNode("a1", "A")
+	for i := 0; i < 9; i++ {
+		next := gb.AddNode("X")
+		_ = gb.AddEdge(prev, next)
+		prev = next
+	}
+	end := gb.AddNamedNode("b1", "B")
+	_ = gb.AddEdge(prev, end)
+	g := gb.Build()
+
+	bq := NewBoundedPattern(q)
+	a := q.NodesWithLabelName("A")[0]
+	b := q.NodesWithLabelName("B")[0]
+	if err := bq.SetBound(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Bounded(bq, g); ok {
+		t.Fatal("distance 10 must not satisfy bound 5")
+	}
+	if err := bq.SetBound(a, b, Unbounded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Bounded(bq, g); !ok {
+		t.Fatal("unbounded edge should match any directed path")
+	}
+}
+
+func TestBoundedRejectsBadBounds(t *testing.T) {
+	q, _ := boundedFixture(t)
+	bq := NewBoundedPattern(q)
+	if err := bq.SetBound(0, 1, 0); err == nil {
+		t.Fatal("bound 0 should be rejected")
+	}
+	if err := bq.SetBound(1, 0, 2); err == nil {
+		t.Fatal("non-edge should be rejected")
+	}
+	if got := bq.Bound(0, 1); got != 1 {
+		t.Fatalf("default bound = %d, want 1", got)
+	}
+}
+
+func TestBoundedMixedBounds(t *testing.T) {
+	// Pattern A -> B -> C with bounds 2 and 1; data realizes A..B in 2 hops
+	// and B -> C directly.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	qb.AddNamedEdge("b", "B", "c", "C")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("a1", "A", "x", "X")
+	gb.AddNamedEdge("x", "X", "b1", "B")
+	gb.AddNamedEdge("b1", "B", "c1", "C")
+	g := gb.Build()
+
+	bq := NewBoundedPattern(q)
+	a := q.NodesWithLabelName("A")[0]
+	b := q.NodesWithLabelName("B")[0]
+	cN := q.NodesWithLabelName("C")[0]
+	if err := bq.SetBound(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Bounded(bq, g); !ok {
+		t.Fatal("mixed bounds should match")
+	}
+	// Tightening the B->C edge to bound 1 keeps it matching; moving the
+	// C one hop away breaks it.
+	if err := bq.SetBound(b, cN, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Bounded(bq, g); !ok {
+		t.Fatal("B->C is a direct edge; bound 1 must hold")
+	}
+	if max, unbounded := bq.MaxBound(); max != 2 || unbounded {
+		t.Fatalf("MaxBound = (%d,%v), want (2,false)", max, unbounded)
+	}
+}
+
+// TestQuickBoundedOneEqualsSimulation: with every bound 1, bounded
+// simulation must coincide with plain graph simulation.
+func TestQuickBoundedOneEqualsSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, g := randomPair(rng)
+		bq := NewBoundedPattern(q)
+		bRel, bOK := Bounded(bq, g)
+		sRel, sOK := Simulation(q, g)
+		return bOK == sOK && bRel.Equal(sRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBoundedMonotone: relaxing bounds can only grow the relation.
+func TestQuickBoundedMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, g := randomPair(rng)
+		tight := NewBoundedPattern(q)
+		loose := NewBoundedPattern(q)
+		q.Edges(func(u, v int32) {
+			_ = loose.SetBound(u, v, 3)
+		})
+		tRel, _ := Bounded(tight, g)
+		lRel, _ := Bounded(loose, g)
+		return tRel.SubsetOf(lRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisimulationSymmetricCycle(t *testing.T) {
+	// Pattern A ⇄ B bisimulates an alternating cycle of the same labels.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	b := qb.AddNode("B")
+	_ = qb.AddEdge(a, b)
+	_ = qb.AddEdge(b, a)
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	const pairs = 3
+	for i := 0; i < pairs; i++ {
+		gb.AddNode("A")
+		gb.AddNode("B")
+	}
+	for i := 0; i < pairs; i++ {
+		_ = gb.AddEdge(int32(2*i), int32(2*i+1))
+		_ = gb.AddEdge(int32(2*i+1), int32((2*i+2)%(2*pairs)))
+	}
+	g := gb.Build()
+	rel, ok := Bisimulation(q, g)
+	if !ok {
+		t.Fatalf("alternating cycle should bisimulate A ⇄ B; rel=%v", rel)
+	}
+}
+
+func TestBisimulationRejectsExtraBehaviour(t *testing.T) {
+	// Data has an A with an extra C-successor that Q cannot mimic: the
+	// backward condition fails for that node, so full bisimulation fails.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	b := qb.AddNode("B")
+	_ = qb.AddEdge(a, b)
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	a1 := gb.AddNode("A")
+	b1 := gb.AddNode("B")
+	c1 := gb.AddNode("C")
+	_ = gb.AddEdge(a1, b1)
+	_ = gb.AddEdge(a1, c1)
+	g := gb.Build()
+	if _, ok := Bisimulation(q, g); ok {
+		t.Fatal("extra data behaviour (A->C) must break bisimulation")
+	}
+	// Plain simulation is indifferent to the extra edge.
+	if _, ok := Simulation(q, g); !ok {
+		t.Fatal("simulation should still hold")
+	}
+}
+
+// TestQuickBisimulationRefinesSimulation: the bisimulation relation is
+// always contained in the simulation relation (Section 3.2: bisimulation is
+// stronger than simulation, weaker than isomorphism).
+func TestQuickBisimulationRefinesSimulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q, g := randomPair(rng)
+		bRel, _ := Bisimulation(q, g)
+		sRel, _ := Simulation(q, g)
+		return bRel.SubsetOf(sRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package simulation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/paperdata"
+)
+
+func TestMatchGraphFig1Simulation(t *testing.T) {
+	// Example 2(2): the match graph of plain simulation is all of G1 —
+	// every node appears, and every edge witnesses some pattern edge.
+	q1, g1 := paperdata.Fig1()
+	rel, ok := Simulation(q1, g1)
+	if !ok {
+		t.Fatal("Q1 ≺ G1")
+	}
+	mg := BuildMatchGraph(q1, g1, rel)
+	if mg.Nodes.Len() != g1.NumNodes() {
+		t.Fatalf("match graph covers %d of %d nodes (Example 2(2) says all)",
+			mg.Nodes.Len(), g1.NumNodes())
+	}
+	if len(mg.Edges) != g1.NumEdges() {
+		t.Fatalf("match graph has %d of %d edges", len(mg.Edges), g1.NumEdges())
+	}
+}
+
+func TestMatchGraphFig1Dual(t *testing.T) {
+	// The dual match graph is exactly the good component Gc: 7 nodes,
+	// 9 edges, one connected component.
+	q1, g1 := paperdata.Fig1()
+	rel, ok := Dual(q1, g1)
+	if !ok {
+		t.Fatal("Q1 ≺D G1")
+	}
+	mg := BuildMatchGraph(q1, g1, rel)
+	if mg.Nodes.Len() != 7 || len(mg.Edges) != 9 {
+		t.Fatalf("dual match graph: %d nodes, %d edges; want 7 and 9",
+			mg.Nodes.Len(), len(mg.Edges))
+	}
+	comps, compEdges := mg.Components()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1 (Gc)", len(comps))
+	}
+	if len(compEdges[0]) != 9 {
+		t.Fatalf("component edges = %d, want 9", len(compEdges[0]))
+	}
+}
+
+func TestMatchGraphComponentOf(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	rel, _ := Dual(q1, g1)
+	mg := BuildMatchGraph(q1, g1, rel)
+	start := mg.Nodes.First()
+	nodes, edges, ok := mg.ComponentOf(start)
+	if !ok || len(nodes) != 7 || len(edges) != 9 {
+		t.Fatalf("ComponentOf(%d) = (%d nodes, %d edges, %v)", start, len(nodes), len(edges), ok)
+	}
+	// Nodes are sorted.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatal("component nodes not sorted")
+		}
+	}
+	// Asking for a node outside the match graph fails.
+	if _, _, ok := mg.ComponentOf(0); ok && !mg.Nodes.Contains(0) {
+		t.Fatal("ComponentOf should fail for unmatched nodes")
+	}
+}
+
+func TestMatchGraphIsolatedMatchedNode(t *testing.T) {
+	// A single-node pattern yields a match graph with isolated nodes:
+	// each forms its own singleton component.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNode("A")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNode("A")
+	gb.AddNode("A")
+	gb.AddNode("B")
+	g := gb.Build()
+	rel, ok := Simulation(q, g)
+	if !ok {
+		t.Fatal("single-node pattern should match")
+	}
+	mg := BuildMatchGraph(q, g, rel)
+	if mg.Nodes.Len() != 2 || len(mg.Edges) != 0 {
+		t.Fatalf("match graph = %d nodes %d edges", mg.Nodes.Len(), len(mg.Edges))
+	}
+	comps, _ := mg.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2 singletons", len(comps))
+	}
+	nodes, edges, ok := mg.ComponentOf(mg.Nodes.First())
+	if !ok || !reflect.DeepEqual(nodes, []int32{mg.Nodes.First()}) || len(edges) != 0 {
+		t.Fatal("singleton component wrong")
+	}
+}
+
+func TestMatchGraphEdgesAreWitnessed(t *testing.T) {
+	// A data edge between two matched nodes enters the match graph only if
+	// some pattern edge witnesses it: B1 -> A2 in this graph connects
+	// matched nodes but no pattern edge goes B -> A.
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	qb.AddNamedEdge("a", "A", "b", "B")
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNamedEdge("A1", "A", "B1", "B")
+	gb.AddNamedEdge("B1", "B", "A2", "A")
+	gb.AddNamedEdge("A2", "A", "B2", "B")
+	g := gb.Build()
+	rel, ok := Simulation(q, g)
+	if !ok {
+		t.Fatal("should match")
+	}
+	mg := BuildMatchGraph(q, g, rel)
+	want := [][2]int32{{0, 1}, {2, 3}} // A1->B1 and A2->B2 only
+	if !reflect.DeepEqual(mg.Edges, want) {
+		t.Fatalf("match graph edges = %v, want %v (B1->A2 unwitnessed)", mg.Edges, want)
+	}
+	comps, _ := mg.Components()
+	if len(comps) != 2 {
+		t.Fatalf("the unwitnessed edge must split the match graph: %d comps", len(comps))
+	}
+}
