@@ -6,10 +6,13 @@
 package repro_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/distributed"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/generator"
 	"repro/internal/graph"
@@ -266,6 +269,84 @@ func benchMinQPattern() *graph.Graph {
 		_ = bldr.AddEdge(bn, cn)
 	}
 	return bldr.Build()
+}
+
+// --- Engine vs sequential Match (internal/engine) -------------------------
+
+// engineWorkload is the serving-shaped workload: a mid-size synthetic data
+// graph queried repeatedly with one sampled pattern, so snapshot preparation
+// amortizes the way it would in cmd/strongsimd.
+func engineWorkload(b *testing.B) (q, g *graph.Graph) {
+	b.Helper()
+	g = generator.Synthetic(5000, 1.2, 50, 7)
+	q = generator.SamplePattern(g, generator.PatternOptions{Nodes: 6, Alpha: 1.2, Seed: 9})
+	return q, g
+}
+
+// BenchmarkMatchSequentialEngineWorkload is the baseline the engine
+// benchmarks below are measured against: the paper's Match, strictly
+// sequential, rebuilding every ball per query.
+func BenchmarkMatchSequentialEngineWorkload(b *testing.B) {
+	q, g := engineWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MatchWith(q, g, core.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchEngineMatch(b *testing.B, workers int, prepare bool) {
+	q, g := engineWorkload(b)
+	cfg := engine.Config{Workers: workers}
+	if prepare {
+		dq, _ := graph.Diameter(q)
+		cfg.PrepareRadii = []int{dq}
+	}
+	eng := engine.New(g, cfg) // preparation cost paid once, outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Match(context.Background(), q, engine.QueryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineWorkers1(b *testing.B) { benchEngineMatch(b, 1, false) }
+func BenchmarkEngineWorkers4(b *testing.B) { benchEngineMatch(b, 4, false) }
+
+// BenchmarkEngineWorkersNumCPU is the production configuration of
+// cmd/strongsimd — NumCPU workers over a prepared snapshot — and the ISSUE's
+// acceptance benchmark: it must beat BenchmarkMatchSequentialEngineWorkload.
+func BenchmarkEngineWorkersNumCPU(b *testing.B) { benchEngineMatch(b, runtime.NumCPU(), true) }
+
+// BenchmarkEngineBatch4 runs four equal-diameter patterns as one batch, so
+// every ball in the union of their candidate centers is constructed once
+// and shared across the group.
+func BenchmarkEngineBatch4(b *testing.B) {
+	_, g := engineWorkload(b)
+	var batch []engine.BatchQuery
+	for seed := int64(9); len(batch) < 4 && seed < 64; seed++ {
+		q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 6, Alpha: 1.2, Seed: seed})
+		if dq, connected := graph.Diameter(q); connected && dq == 2 {
+			batch = append(batch, engine.BatchQuery{Pattern: q})
+		}
+	}
+	if len(batch) < 4 {
+		b.Fatal("could not sample four diameter-2 patterns")
+	}
+	eng := engine.New(g, engine.Config{Workers: runtime.NumCPU()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.MatchBatch(context.Background(), batch) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
 }
 
 func BenchmarkDistributedMatch(b *testing.B) {

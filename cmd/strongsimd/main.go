@@ -1,0 +1,115 @@
+// Strongsimd serves strong-simulation pattern matching over HTTP/JSON. It
+// loads one data graph (text format of internal/graph) at startup, prepares
+// it as an engine snapshot, and answers concurrent POST /match requests with
+// per-request deadlines.
+//
+//	strongsimd -data graph.g                          # serve on :8372
+//	strongsimd -data graph.g -addr :9000 -workers 8
+//	strongsimd -data graph.g -prepare-radii 1,2      # warm ball caches
+//
+//	curl -s localhost:8372/match -d '{"pattern":"edge a b","mode":"match+"}'
+//
+// Endpoints: GET /healthz, GET /graph, POST /match. See DESIGN.md for the
+// request and response schemas.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("strongsimd: ")
+	var (
+		dataPath   = flag.String("data", "", "data graph file (required)")
+		addr       = flag.String("addr", ":8372", "listen address")
+		workers    = flag.Int("workers", 0, "ball-evaluation workers per query (0 = GOMAXPROCS)")
+		radiiSpec  = flag.String("prepare-radii", "", "comma-separated ball radii to precompute (e.g. 1,2)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", time.Minute, "largest deadline a request may ask for")
+		maxBody    = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.Parse(f, graph.NewLabels())
+	f.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", *dataPath, err)
+	}
+	log.Printf("loaded %v", g)
+
+	radii, err := parseRadii(*radiiSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	eng := engine.New(g, engine.Config{Workers: *workers, PrepareRadii: radii})
+	if len(radii) > 0 {
+		log.Printf("prepared balls for radii %v in %v", radii, time.Since(start))
+	}
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: engine.NewServer(eng, engine.ServerConfig{
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxBodyBytes:   *maxBody,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (workers=%d)", *addr, eng.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}
+
+func parseRadii(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r <= 0 {
+			return nil, errors.New("-prepare-radii wants positive integers, e.g. 1,2")
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -19,6 +19,11 @@
 //     match graphs, the HHK-style refinement engine
 //   - internal/core: the paper's contribution — Match (Fig. 3), minQ
 //     (Fig. 4), dualFilter (Fig. 5), connectivity pruning, Match+, ranking
+//   - internal/engine: the serving layer — prepared snapshots (frozen
+//     labels, candidate centers, cached balls), a concurrent query engine
+//     with worker-pool ball evaluation, context cancellation, streaming,
+//     top-k early termination and radius-sharing batches, plus the HTTP
+//     handler behind cmd/strongsimd
 //   - internal/isomorphism: VF2 baseline
 //   - internal/approx: TALE and MCS baselines
 //   - internal/generator: synthetic (n, n^α, l) workloads, Amazon-like and
@@ -28,7 +33,26 @@
 //   - internal/incremental: Section 6 future work — ball-local maintenance
 //     under edge updates
 //   - internal/experiments: drivers regenerating every table and figure
-//   - examples/, cmd/: runnable entry points
+//   - examples/, cmd/: runnable entry points — cmd/strongsim (one-shot
+//     CLI), cmd/strongsimd (HTTP/JSON matching server), cmd/experiments,
+//     cmd/gengraph
+//
+// # Serving quickstart
+//
+// Generate a workload, start the server, and query it:
+//
+//	go run ./cmd/gengraph -dataset synthetic -n 10000 -o data.g
+//	go run ./cmd/strongsimd -data data.g -addr :8372 -prepare-radii 1,2
+//
+//	curl -s localhost:8372/match -d '{
+//	    "pattern": "node a HR\nnode b SE\nedge a b\nedge b a",
+//	    "mode": "match+", "top_k": 3, "timeout_ms": 1000}'
+//
+// POST /match accepts a pattern in the text format of internal/graph and
+// returns the perfect subgraphs as JSON; GET /graph describes the loaded
+// data graph. examples/server runs the same loop self-contained, and
+// internal/engine documents the embedded API (engine.New, Engine.Match,
+// Engine.Stream, Engine.MatchBatch).
 //
 // The benchmarks in bench_test.go regenerate one table or figure each; see
 // EXPERIMENTS.md for a captured run against the paper's reported numbers

@@ -114,22 +114,14 @@ func MatchWith(q, g *graph.Graph, opts Options) (*Result, error) {
 	close(next)
 	wg.Wait()
 
-	seen := make(map[string]bool)
-	for _, cr := range out {
+	perCenter := make([]*PerfectSubgraph, len(out))
+	for i, cr := range out {
 		res.Stats.BallsExamined += cr.stats.BallsExamined
 		res.Stats.BallsSkipped += cr.stats.BallsSkipped
 		res.Stats.PairsRemoved += cr.stats.PairsRemoved
-		if cr.ps == nil {
-			continue
-		}
-		sig := cr.ps.signature()
-		if seen[sig] {
-			res.Stats.Duplicates++
-			continue
-		}
-		seen[sig] = true
-		res.Subgraphs = append(res.Subgraphs, cr.ps)
+		perCenter[i] = cr.ps
 	}
+	res.Subgraphs = DedupSubgraphs(perCenter, &res.Stats)
 	SortSubgraphs(res.Subgraphs)
 
 	if opts.MinimizeQuery {
@@ -169,6 +161,36 @@ func evalBall(q, g *graph.Graph, center int32, radius int, opts Options, global 
 	}
 
 	ball := graph.NewBall(g, center, radius)
+	ps, evalStats := EvalPreparedBallWith(q, ball, center, opts, global)
+	stats.BallsExamined += evalStats.BallsExamined
+	stats.BallsSkipped += evalStats.BallsSkipped
+	stats.PairsRemoved += evalStats.PairsRemoved
+	return ps, stats
+}
+
+// EvalPreparedBall runs procedure DualSim followed by ExtractMaxPG (Fig. 3)
+// on a ball constructed by the caller, returning the ball's maximum perfect
+// subgraph (nil if none) and the number of match pairs removed during
+// refinement. The distributed evaluator (Section 4.3) assembles balls from
+// fragment-local plus fetched adjacency and delegates here, guaranteeing
+// distributed and centralized runs share one code path.
+func EvalPreparedBall(q *graph.Graph, ball *graph.Ball, center int32) (*PerfectSubgraph, int) {
+	ps, stats := EvalPreparedBallWith(q, ball, center, Options{}, nil)
+	return ps, stats.PairsRemoved
+}
+
+// EvalPreparedBallWith is the options-aware form of EvalPreparedBall: it
+// evaluates one caller-constructed ball under opts, optionally projecting a
+// precomputed global dual-simulation relation onto the ball (Fig. 5 line 1)
+// instead of starting from label candidates. center is the ball center in
+// the parent graph's coordinates. Callers are responsible for any
+// pre-construction center filtering (label precheck or global-relation
+// membership); this function always evaluates the ball it is given. The
+// query engine (internal/engine) fans calls to this function across a worker
+// pool; it must therefore remain safe for concurrent use with a shared
+// read-only q, ball and global.
+func EvalPreparedBallWith(q *graph.Graph, ball *graph.Ball, center int32, opts Options, global simulation.Relation) (*PerfectSubgraph, Stats) {
+	var stats Stats
 	bg := ball.G
 
 	// Initial candidates within the ball.
@@ -225,30 +247,13 @@ func evalBall(q, g *graph.Graph, center int32, radius int, opts Options, global 
 	if !ok {
 		return nil, stats
 	}
-	return extractMaxPG(q, g, ball, rel, center, &stats), stats
-}
-
-// EvalPreparedBall runs procedure DualSim followed by ExtractMaxPG (Fig. 3)
-// on a ball constructed by the caller, returning the ball's maximum perfect
-// subgraph (nil if none) and the number of match pairs removed during
-// refinement. The distributed evaluator (Section 4.3) assembles balls from
-// fragment-local plus fetched adjacency and delegates here, guaranteeing
-// distributed and centralized runs share one code path.
-func EvalPreparedBall(q *graph.Graph, ball *graph.Ball, center int32) (*PerfectSubgraph, int) {
-	rel := simulation.InitByLabel(q, ball.G)
-	refiner := simulation.NewRefiner(q, ball.G, rel, simulation.ChildParent)
-	refiner.SeedAll()
-	if !refiner.Run() {
-		return nil, len(refiner.Removed())
-	}
-	var stats Stats
-	return extractMaxPG(q, nil, ball, rel, center, &stats), len(refiner.Removed())
+	return extractMaxPG(q, ball, rel, center, &stats), stats
 }
 
 // extractMaxPG is procedure ExtractMaxPG (Fig. 3): return the connected
 // component containing the ball center in the match graph w.r.t. Sw, or nil
 // when the center is unmatched.
-func extractMaxPG(q, g *graph.Graph, ball *graph.Ball, rel simulation.Relation, center int32, stats *Stats) *PerfectSubgraph {
+func extractMaxPG(q *graph.Graph, ball *graph.Ball, rel simulation.Relation, center int32, stats *Stats) *PerfectSubgraph {
 	centerMatched := false
 	for u := range rel {
 		if rel[u].Contains(ball.Center) {
@@ -301,10 +306,18 @@ func extractMaxPG(q, g *graph.Graph, ball *graph.Ball, rel simulation.Relation, 
 // nodes back to the caller's original pattern nodes.
 func expandRelations(res *Result, q *graph.Graph, classOf []int32) {
 	for _, ps := range res.Subgraphs {
-		expanded := make(map[int32][]int32, q.NumNodes())
-		for u := int32(0); u < int32(q.NumNodes()); u++ {
-			expanded[u] = ps.Rel[classOf[u]]
-		}
-		ps.Rel = expanded
+		ExpandRelation(ps, q, classOf)
 	}
+}
+
+// ExpandRelation rewrites one subgraph's relation from minimized-pattern
+// nodes back to the original pattern q, given the classOf mapping returned
+// by MinimizeQuery. Streaming consumers (internal/engine) apply it per
+// subgraph as results arrive instead of in a final pass.
+func ExpandRelation(ps *PerfectSubgraph, q *graph.Graph, classOf []int32) {
+	expanded := make(map[int32][]int32, q.NumNodes())
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		expanded[u] = ps.Rel[classOf[u]]
+	}
+	ps.Rel = expanded
 }

@@ -53,6 +53,12 @@ func (ps *PerfectSubgraph) signature() string {
 	return string(buf)
 }
 
+// Signature returns an opaque canonical key for (Nodes, Edges): two perfect
+// subgraphs carry the same key iff they are the same subgraph of G,
+// regardless of which ball center produced them. Streaming consumers
+// (internal/engine) use it to deduplicate matches incrementally.
+func (ps *PerfectSubgraph) Signature() string { return ps.signature() }
+
 // Contains reports whether the subgraph contains data node v.
 func (ps *PerfectSubgraph) Contains(v int32) bool {
 	i := sort.Search(len(ps.Nodes), func(i int) bool { return ps.Nodes[i] >= v })
@@ -195,6 +201,50 @@ func (r *Result) SizeHistogram() [6]int {
 		h[b]++
 	}
 	return h
+}
+
+// Deduper incrementally collapses a sequence of per-ball outcomes into
+// distinct subgraphs. It is the one implementation of the dedup rule that
+// MatchWith, the query engine's collected, streamed and batched paths all
+// share: first admission wins a duplicate set, so feeding outcomes in
+// ascending center order makes the smallest producing center win.
+type Deduper struct {
+	seen map[string]bool
+}
+
+// NewDeduper returns an empty deduper.
+func NewDeduper() *Deduper {
+	return &Deduper{seen: make(map[string]bool)}
+}
+
+// Admit reports whether ps is a subgraph not seen before, counting nil
+// outcomes as nothing and repeats into stats.Duplicates.
+func (d *Deduper) Admit(ps *PerfectSubgraph, stats *Stats) bool {
+	if ps == nil {
+		return false
+	}
+	sig := ps.signature()
+	if d.seen[sig] {
+		stats.Duplicates++
+		return false
+	}
+	d.seen[sig] = true
+	return true
+}
+
+// DedupSubgraphs collapses per-center outcomes (nil where a center produced
+// nothing) into the distinct subgraphs in first-seen order, counting the
+// discards into stats.Duplicates. Callers pass outcomes in ascending center
+// order so the smallest producing center wins a duplicate set.
+func DedupSubgraphs(perCenter []*PerfectSubgraph, stats *Stats) []*PerfectSubgraph {
+	d := NewDeduper()
+	var out []*PerfectSubgraph
+	for _, ps := range perCenter {
+		if d.Admit(ps, stats) {
+			out = append(out, ps)
+		}
+	}
+	return out
 }
 
 // SortSubgraphs orders a subgraph slice canonically (by smallest node, then

@@ -1,0 +1,391 @@
+// Package engine is the serving layer over the paper's Match algorithm: a
+// concurrent strong-simulation query engine. It wraps an immutable data
+// graph as a prepared Snapshot (frozen label table, candidate centers per
+// pattern label, optional cached balls for hot radii) and evaluates queries
+// by fanning per-ball work — the embarrassingly parallel loop of Fig. 3 —
+// across a worker pool, with context cancellation, early termination, result
+// streaming and a batch API that amortizes ball construction across patterns
+// of equal effective radius. The per-ball evaluation itself is
+// core.EvalPreparedBallWith, so the engine returns exactly the perfect
+// subgraphs of core.MatchWith under the same options.
+//
+// See DESIGN.md for the architecture and cmd/strongsimd for the HTTP server
+// built on top.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simulation"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the number of goroutines evaluating balls per query;
+	// 0 uses GOMAXPROCS.
+	Workers int
+	// PrepareRadii lists ball radii to precompute eagerly at construction
+	// (see Snapshot.PrepareBalls for the memory trade-off).
+	PrepareRadii []int
+}
+
+// Engine executes strong-simulation queries against one Snapshot. It is safe
+// for concurrent use; all per-query state lives on the goroutines of that
+// query.
+type Engine struct {
+	snap    *Snapshot
+	workers int
+}
+
+// New prepares g and returns an engine over it.
+func New(g *graph.Graph, cfg Config) *Engine {
+	return NewWithSnapshot(NewSnapshot(g), cfg)
+}
+
+// NewWithSnapshot returns an engine over an existing snapshot, so several
+// engines (e.g. with different worker budgets) can share prepared state.
+func NewWithSnapshot(snap *Snapshot, cfg Config) *Engine {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	for _, r := range cfg.PrepareRadii {
+		snap.PrepareBalls(r)
+	}
+	return &Engine{snap: snap, workers: w}
+}
+
+// Snapshot returns the engine's prepared snapshot.
+func (e *Engine) Snapshot() *Snapshot { return e.snap }
+
+// Workers returns the per-query worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// QueryOptions configure one query. The zero value is the paper's plain
+// Match; PlusQuery enables every Match+ optimization.
+type QueryOptions struct {
+	// Radius overrides the ball radius; 0 uses the pattern diameter dQ.
+	Radius int
+	// MinimizeQuery runs minQ (Fig. 4) first, keeping the original
+	// diameter as the radius.
+	MinimizeQuery bool
+	// DualFilter computes dual simulation once on the whole data graph,
+	// skips centers it leaves unmatched, and refines balls from their
+	// border only (Fig. 5).
+	DualFilter bool
+	// ConnectivityPruning drops ball candidates not connected to the
+	// center through candidates (Section 4.2).
+	ConnectivityPruning bool
+	// Limit stops the query after this many distinct perfect subgraphs
+	// and cancels outstanding ball work; 0 returns all matches. Which
+	// subgraphs are returned under a limit depends on worker scheduling.
+	Limit int
+}
+
+// PlusQuery returns the Match+ configuration: every optimization enabled.
+func PlusQuery() QueryOptions {
+	return QueryOptions{MinimizeQuery: true, DualFilter: true, ConnectivityPruning: true}
+}
+
+func (o QueryOptions) coreOptions() core.Options {
+	return core.Options{
+		Radius:              o.Radius,
+		MinimizeQuery:       o.MinimizeQuery,
+		DualFilter:          o.DualFilter,
+		ConnectivityPruning: o.ConnectivityPruning,
+	}
+}
+
+// preparedQuery is the per-query state shared by every execution mode.
+type preparedQuery struct {
+	qEff    *graph.Graph // pattern actually matched (minimized or original)
+	classOf []int32      // original pattern node -> qEff node (minimization only)
+	radius  int
+	global  simulation.Relation // dual-filter relation, nil when disabled
+	centers []int32             // viable ball centers, ascending
+	stats   core.Stats          // prefilter accounting (skipped centers, minQ size)
+	done    bool                // query already answered (dual filter found Q ⊀D G)
+}
+
+// prepare validates the pattern and runs the per-query precomputation:
+// minimization, the global dual-simulation filter, and center candidate
+// selection against the snapshot's label index. A dead ctx is observed
+// between the phases (the full-graph dual simulation itself is not
+// interruptible), so cancelled requests shed their heaviest precomputation
+// instead of running it to completion.
+func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions) (*preparedQuery, error) {
+	if q == nil || q.NumNodes() == 0 {
+		return nil, fmt.Errorf("engine: empty pattern graph")
+	}
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		return nil, fmt.Errorf("engine: pattern graph must be connected (Section 2.1)")
+	}
+	p := &preparedQuery{qEff: q, radius: opts.Radius}
+	if p.radius <= 0 {
+		p.radius = dq
+	}
+	if opts.MinimizeQuery {
+		p.stats.MinimizedFrom = q.Size()
+		p.qEff, p.classOf = core.MinimizeQuery(q)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	g := e.snap.g
+	var centerSet *graph.NodeSet
+	if opts.DualFilter {
+		rel, ok := simulation.Dual(p.qEff, g)
+		if !ok {
+			// Q ⊀D G: no ball can match (Proposition 1).
+			p.stats.BallsSkipped = g.NumNodes()
+			p.done = true
+			return p, nil
+		}
+		p.global = rel
+		centerSet = rel.DataNodes(g.NumNodes())
+	} else {
+		centerSet = e.snap.CandidateCenters(p.qEff)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.centers = centerSet.Slice()
+	p.stats.BallsSkipped = g.NumNodes() - len(p.centers)
+	return p, nil
+}
+
+// ballOutcome is one evaluated ball, tagged with its center's position in
+// the prepared center list (which is ascending, so position order is center
+// order).
+type ballOutcome struct {
+	pos   int
+	ps    *core.PerfectSubgraph
+	stats core.Stats
+}
+
+// evalCenters fans ball evaluation over the worker pool and feeds every
+// outcome to sink on the calling goroutine. sink returning false cancels
+// the remaining work (outcomes already in flight are discarded without
+// reaching sink, so early exits undercount stats by design). Returns ctx's
+// error when the context ends the run, nil otherwise. Cancellation is
+// observed between balls; a ball evaluation already underway runs to
+// completion.
+func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, sink func(ballOutcome) bool) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tasks := make(chan int)
+	results := make(chan ballOutcome, e.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range tasks {
+				center := p.centers[pos]
+				ball := e.snap.Ball(center, p.radius)
+				ps, stats := core.EvalPreparedBallWith(p.qEff, ball, center, coreOpts, p.global)
+				select {
+				case results <- ballOutcome{pos: pos, ps: ps, stats: stats}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(tasks)
+		for pos := range p.centers {
+			select {
+			case tasks <- pos:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stopped := false
+	for out := range results {
+		if stopped {
+			continue // draining after sink asked to stop
+		}
+		if !sink(out) {
+			stopped = true
+			cancel()
+		}
+	}
+	// A cancelled or expired caller context always surfaces, even when the
+	// sink stopped the run first (a stream consumer aborting on ctx.Done
+	// stops via the sink; its callers must still see the context error).
+	// A sink stop with a live context — the Limit early exit — reports nil.
+	return ctx.Err()
+}
+
+func foldStats(dst *core.Stats, src core.Stats) {
+	dst.BallsExamined += src.BallsExamined
+	dst.BallsSkipped += src.BallsSkipped
+	dst.PairsRemoved += src.PairsRemoved
+}
+
+// Match runs one query to completion and returns the full canonical result —
+// byte-for-byte the Result that core.MatchWith produces for the same pattern
+// and options (same subgraphs, same dedup tie-breaking toward the smallest
+// center, same ordering, same stats), just evaluated against the snapshot
+// with this engine's worker pool. It honors ctx: when the context is
+// cancelled or its deadline passes mid-run, Match returns ctx's error.
+func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (*core.Result, error) {
+	if opts.Limit > 0 {
+		return e.matchLimited(ctx, q, opts)
+	}
+	p, err := e.prepare(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.Result{Stats: p.stats}
+	if p.done {
+		return res, nil
+	}
+
+	// Collect per center, then dedup in center order so duplicate subgraphs
+	// keep the smallest producing center, exactly as core.MatchWith does.
+	// Sized by candidate count, not |V|: per-query memory must not scale
+	// with graph size when the prefilter leaves few viable centers.
+	out := make([]*core.PerfectSubgraph, len(p.centers))
+	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
+		foldStats(&res.Stats, o.stats)
+		out[o.pos] = o.ps
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
+	core.SortSubgraphs(res.Subgraphs)
+	if opts.MinimizeQuery {
+		for _, ps := range res.Subgraphs {
+			core.ExpandRelation(ps, q, p.classOf)
+		}
+	}
+	return res, nil
+}
+
+// matchLimited collects up to opts.Limit subgraphs via the streaming path,
+// cancelling outstanding balls once the limit is reached.
+func (e *Engine) matchLimited(ctx context.Context, q *graph.Graph, opts QueryOptions) (*core.Result, error) {
+	res := &core.Result{}
+	stats, err := e.run(ctx, q, opts, func(ps *core.PerfectSubgraph) bool {
+		res.Subgraphs = append(res.Subgraphs, ps)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	core.SortSubgraphs(res.Subgraphs)
+	return res, nil
+}
+
+// run is the streaming execution: incremental dedup (first arrival wins),
+// per-subgraph relation expansion, and limit enforcement. emit returning
+// false stops the query without error.
+func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emit func(*core.PerfectSubgraph) bool) (core.Stats, error) {
+	p, err := e.prepare(ctx, q, opts)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	stats := p.stats
+	if p.done {
+		return stats, nil
+	}
+
+	dedup := core.NewDeduper()
+	emitted := 0
+	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
+		foldStats(&stats, o.stats)
+		if !dedup.Admit(o.ps, &stats) {
+			return true
+		}
+		if opts.MinimizeQuery {
+			core.ExpandRelation(o.ps, q, p.classOf)
+		}
+		if !emit(o.ps) {
+			return false
+		}
+		emitted++
+		return opts.Limit <= 0 || emitted < opts.Limit
+	})
+	return stats, err
+}
+
+// Stream is a handle to an in-flight streaming query: range over C until it
+// closes, then call Wait for the run's statistics and error. Matches arrive
+// deduplicated, in worker completion order (nondeterministic). Abandoning C
+// without cancelling the query's context leaks the query's goroutines until
+// the context ends; cancel the context to stop early.
+type Stream struct {
+	C     <-chan *core.PerfectSubgraph
+	done  chan struct{}
+	stats core.Stats
+	err   error
+}
+
+// Wait blocks until the query has finished and returns its statistics and
+// error. C is closed by the time Wait returns.
+func (s *Stream) Wait() (core.Stats, error) {
+	<-s.done
+	return s.stats, s.err
+}
+
+// Stream starts a query and returns immediately; matches are delivered on
+// the stream's channel as balls complete. Pattern validation errors are
+// reported through Wait.
+func (e *Engine) Stream(ctx context.Context, q *graph.Graph, opts QueryOptions) *Stream {
+	out := make(chan *core.PerfectSubgraph, e.workers)
+	s := &Stream{C: out, done: make(chan struct{})}
+	go func() {
+		defer close(out)
+		defer close(s.done)
+		s.stats, s.err = e.run(ctx, q, opts, func(ps *core.PerfectSubgraph) bool {
+			select {
+			case out <- ps:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return s
+}
+
+// MatchTopK runs a query keeping only the k best matches under the metric
+// (nil = core.DefaultMetric), with the ordering of Result.TopK: score
+// descending, then fewer nodes, then canonical signature. Memory stays
+// O(k) regardless of how many subgraphs the query produces; the query
+// itself still evaluates every viable ball unless opts.Limit also applies.
+// k <= 0 ranks every match.
+func (e *Engine) MatchTopK(ctx context.Context, q *graph.Graph, k int, metric core.Metric, opts QueryOptions) ([]core.Ranked, core.Stats, error) {
+	if metric == nil {
+		metric = core.DefaultMetric
+	}
+	top := newTopK(k)
+	stats, err := e.run(ctx, q, opts, func(ps *core.PerfectSubgraph) bool {
+		top.offer(core.Ranked{PerfectSubgraph: ps, Score: metric(q, e.snap.g, ps)})
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return top.ranked(), stats, nil
+}

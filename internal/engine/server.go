@@ -1,0 +1,290 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ServerConfig tunes the HTTP front end. Zero values take the defaults
+// noted on each field.
+type ServerConfig struct {
+	// DefaultTimeout is the per-request deadline applied when a request
+	// does not ask for one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a request may ask for (default 60s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// MatchRequest is the JSON body of POST /match.
+type MatchRequest struct {
+	// Pattern is the pattern graph in the text format of internal/graph
+	// (node/edge lines). Required.
+	Pattern string `json:"pattern"`
+	// Mode selects the optimization bundle: "match" (default, plain
+	// Fig. 3) or "match+" (minimization, dual filter, connectivity
+	// pruning).
+	Mode string `json:"mode,omitempty"`
+	// Radius overrides the ball radius; 0 uses the pattern diameter.
+	Radius int `json:"radius,omitempty"`
+	// Limit stops the query after this many distinct subgraphs; 0 = all.
+	Limit int `json:"limit,omitempty"`
+	// TopK returns only the k best matches under Metric; 0 returns every
+	// match unranked.
+	TopK int `json:"top_k,omitempty"`
+	// Metric names the ranking metric for TopK: "default", "compactness",
+	// "density" or "selectivity".
+	Metric string `json:"metric,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds, clamped to
+	// the server's MaxTimeout; 0 uses DefaultTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// MatchResponse is the JSON body answering POST /match.
+type MatchResponse struct {
+	Matches   []SubgraphJSON `json:"matches"`
+	Stats     StatsJSON      `json:"stats"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// SubgraphJSON serializes one perfect subgraph. Rel maps pattern node ids
+// (as decimal strings, matching the node order of the submitted pattern) to
+// their data-node matches inside the subgraph.
+type SubgraphJSON struct {
+	Center int32              `json:"center"`
+	Score  *float64           `json:"score,omitempty"`
+	Nodes  []int32            `json:"nodes"`
+	Edges  [][2]int32         `json:"edges"`
+	Rel    map[string][]int32 `json:"rel"`
+}
+
+// StatsJSON serializes core.Stats.
+type StatsJSON struct {
+	BallsExamined int `json:"balls_examined"`
+	BallsSkipped  int `json:"balls_skipped"`
+	PairsRemoved  int `json:"pairs_removed"`
+	Duplicates    int `json:"duplicates"`
+	MinimizedFrom int `json:"minimized_from,omitempty"`
+}
+
+// GraphInfoJSON answers GET /graph.
+type GraphInfoJSON struct {
+	Name          string `json:"name"`
+	Nodes         int    `json:"nodes"`
+	Edges         int    `json:"edges"`
+	Labels        int    `json:"labels"`
+	Workers       int    `json:"workers"`
+	PreparedRadii []int  `json:"prepared_radii"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewServer wraps an engine as an http.Handler exposing:
+//
+//	GET  /healthz  liveness probe
+//	GET  /graph    data-graph and engine summary
+//	POST /match    run one strong-simulation query (MatchRequest/MatchResponse)
+//
+// Requests are served concurrently against the engine's shared snapshot;
+// each gets a deadline (request-supplied, clamped) whose expiry answers 504.
+// cmd/strongsimd serves this handler standalone; tests and examples mount it
+// wherever convenient.
+func NewServer(e *Engine, cfg ServerConfig) http.Handler {
+	s := &server{engine: e, cfg: cfg.withDefaults()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/graph", s.handleGraph)
+	mux.HandleFunc("/match", s.handleMatch)
+	return mux
+}
+
+type server struct {
+	engine *Engine
+	cfg    ServerConfig
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.engine.Snapshot()
+	g := snap.Graph()
+	writeJSON(w, http.StatusOK, GraphInfoJSON{
+		Name:          g.Name(),
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Labels:        g.Labels().Len(),
+		Workers:       s.engine.Workers(),
+		PreparedRadii: snap.PreparedRadii(),
+	})
+}
+
+func metricByName(name string) (core.Metric, error) {
+	switch name {
+	case "", "default":
+		return core.DefaultMetric, nil
+	case "compactness":
+		return core.ScoreCompactness, nil
+	case "density":
+		return core.ScoreDensity, nil
+	case "selectivity":
+		return core.ScoreSelectivity, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req MatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, "missing pattern")
+		return
+	}
+	var opts QueryOptions
+	switch req.Mode {
+	case "", "match":
+		// plain Fig. 3 Match
+	case "match+":
+		opts = PlusQuery()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want \"match\" or \"match+\")", req.Mode)
+		return
+	}
+	opts.Radius = req.Radius
+	opts.Limit = req.Limit
+	metric, err := metricByName(req.Metric)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	q, err := s.engine.Snapshot().ParsePattern(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing pattern: %v", err)
+		return
+	}
+
+	start := time.Now()
+	var resp MatchResponse
+	if req.TopK > 0 {
+		ranked, stats, err := s.engine.MatchTopK(ctx, q, req.TopK, metric, opts)
+		if err != nil {
+			s.writeMatchError(w, err)
+			return
+		}
+		resp.Stats = statsJSON(stats)
+		resp.Matches = make([]SubgraphJSON, 0, len(ranked))
+		for _, rk := range ranked {
+			sj := subgraphJSON(rk.PerfectSubgraph)
+			score := rk.Score
+			sj.Score = &score
+			resp.Matches = append(resp.Matches, sj)
+		}
+	} else {
+		res, err := s.engine.Match(ctx, q, opts)
+		if err != nil {
+			s.writeMatchError(w, err)
+			return
+		}
+		resp.Stats = statsJSON(res.Stats)
+		resp.Matches = make([]SubgraphJSON, 0, res.Len())
+		for _, ps := range res.Subgraphs {
+			resp.Matches = append(resp.Matches, subgraphJSON(ps))
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) writeMatchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style closure
+		// keeps logs honest.
+		writeError(w, http.StatusRequestTimeout, "request cancelled")
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func statsJSON(st core.Stats) StatsJSON {
+	return StatsJSON{
+		BallsExamined: st.BallsExamined,
+		BallsSkipped:  st.BallsSkipped,
+		PairsRemoved:  st.PairsRemoved,
+		Duplicates:    st.Duplicates,
+		MinimizedFrom: st.MinimizedFrom,
+	}
+}
+
+func subgraphJSON(ps *core.PerfectSubgraph) SubgraphJSON {
+	rel := make(map[string][]int32, len(ps.Rel))
+	for u, matches := range ps.Rel {
+		rel[strconv.Itoa(int(u))] = matches
+	}
+	return SubgraphJSON{
+		Center: ps.Center,
+		Nodes:  ps.Nodes,
+		Edges:  ps.Edges,
+		Rel:    rel,
+	}
+}

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/generator"
+	"repro/internal/graph"
+)
+
+func newTestServer(t *testing.T, g *graph.Graph, cfg ServerConfig) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := New(g, Config{Workers: 4})
+	ts := httptest.NewServer(NewServer(e, cfg))
+	t.Cleanup(ts.Close)
+	return ts, e
+}
+
+func postMatch(t *testing.T, url string, req MatchRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestServerMatch(t *testing.T) {
+	g := generator.Synthetic(400, 1.2, 10, 73)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 74})
+	ts, e := newTestServer(t, g, ServerConfig{})
+
+	want, err := e.Match(context.Background(), q, PlusQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postMatch(t, ts.URL, MatchRequest{Pattern: graph.FormatString(q), Mode: "match+"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr MatchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) != want.Len() {
+		t.Fatalf("server returned %d matches, engine %d", len(mr.Matches), want.Len())
+	}
+	for i, m := range mr.Matches {
+		if m.Center != want.Subgraphs[i].Center || len(m.Nodes) != len(want.Subgraphs[i].Nodes) {
+			t.Errorf("match %d diverges from direct engine result", i)
+		}
+		if len(m.Rel) != q.NumNodes() {
+			t.Errorf("match %d: rel has %d pattern nodes, want %d", i, len(m.Rel), q.NumNodes())
+		}
+	}
+	if mr.Stats.BallsExamined != want.Stats.BallsExamined {
+		t.Errorf("stats diverge: %+v vs %+v", mr.Stats, want.Stats)
+	}
+}
+
+func TestServerTopK(t *testing.T) {
+	g := generator.Synthetic(400, 1.2, 10, 79)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 80})
+	ts, _ := newTestServer(t, g, ServerConfig{})
+
+	resp, body := postMatch(t, ts.URL, MatchRequest{
+		Pattern: graph.FormatString(q), TopK: 2, Metric: "compactness",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr MatchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) > 2 {
+		t.Fatalf("top_k=2 returned %d matches", len(mr.Matches))
+	}
+	var prev float64 = 2 // scores are in (0,1]
+	for i, m := range mr.Matches {
+		if m.Score == nil {
+			t.Fatalf("match %d: ranked response missing score", i)
+		}
+		if *m.Score > prev {
+			t.Error("scores not descending")
+		}
+		prev = *m.Score
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 83)
+	ts, _ := newTestServer(t, g, ServerConfig{})
+
+	cases := []struct {
+		name   string
+		req    MatchRequest
+		status int
+	}{
+		{"missing pattern", MatchRequest{}, http.StatusBadRequest},
+		{"malformed pattern", MatchRequest{Pattern: "bogus directive"}, http.StatusBadRequest},
+		{"disconnected pattern", MatchRequest{Pattern: "node a l0\nnode b l1\n"}, http.StatusBadRequest},
+		{"unknown mode", MatchRequest{Pattern: "edge a b", Mode: "nope"}, http.StatusBadRequest},
+		{"unknown metric", MatchRequest{Pattern: "edge a b", TopK: 1, Metric: "nope"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postMatch(t, ts.URL, tc.req)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var e errorJSON
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("error response not structured: %s", body)
+			}
+		})
+	}
+
+	// Invalid JSON body.
+	resp, err := http.Post(ts.URL+"/match", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid JSON: status %d", resp.StatusCode)
+	}
+
+	// Wrong methods.
+	resp, err = http.Get(ts.URL + "/match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /match: status %d", resp.StatusCode)
+	}
+}
+
+func TestServerDeadline(t *testing.T) {
+	// A graph big enough that a full plain scan cannot finish in 1ms.
+	g := generator.Synthetic(8000, 1.2, 5, 89)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 90})
+	ts, _ := newTestServer(t, g, ServerConfig{DefaultTimeout: time.Millisecond})
+
+	resp, body := postMatch(t, ts.URL, MatchRequest{Pattern: graph.FormatString(q)})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestServerGraphAndHealth(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 10, 97)
+	ts, e := newTestServer(t, g, ServerConfig{})
+	e.Snapshot().PrepareBalls(1)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info GraphInfoJSON
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.NumNodes() || info.Edges != g.NumEdges() {
+		t.Errorf("graph info %+v does not match %v", info, g)
+	}
+	if len(info.PreparedRadii) != 1 || info.PreparedRadii[0] != 1 {
+		t.Errorf("prepared radii %v, want [1]", info.PreparedRadii)
+	}
+}
+
+// TestServerConcurrentRequests floods the handler from many clients — with
+// novel labels in some patterns — to exercise the race-free parse path under
+// real HTTP concurrency.
+func TestServerConcurrentRequests(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 10, 101)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 102})
+	ts, _ := newTestServer(t, g, ServerConfig{})
+	patterns := []string{
+		graph.FormatString(q),
+		"node a l0\nnode b some-novel-label\nedge a b\n",
+		"edge x y\nedge y x\n",
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				req := MatchRequest{Pattern: patterns[(c+rep)%len(patterns)]}
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/match", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

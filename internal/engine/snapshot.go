@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Snapshot is a query-ready view of one immutable data graph: the graph
+// itself, its frozen label table, and optional per-radius ball caches. One
+// Snapshot is safe for any number of concurrent queries; everything mutable
+// behind it is either guarded (ball caches) or copied per request (label
+// tables handed to ParsePattern).
+//
+// The graph handed to NewSnapshot must not change afterwards — in
+// particular, no further labels may be interned into its table. Graphs built
+// by internal/graph are immutable once Build returns, so in practice the
+// only obligation is to finish constructing every graph that shares the
+// table before taking the snapshot.
+type Snapshot struct {
+	g *graph.Graph
+
+	mu    sync.RWMutex
+	balls map[int][]*graph.Ball // radius -> balls indexed by center
+}
+
+// NewSnapshot prepares g for querying.
+func NewSnapshot(g *graph.Graph) *Snapshot {
+	return &Snapshot{g: g, balls: make(map[int][]*graph.Ball)}
+}
+
+// Graph returns the underlying data graph.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// ParsePattern parses a pattern graph in the text format of internal/graph
+// against a private copy of the snapshot's label table. Labels the data
+// graph already knows keep their identifiers, so the pattern is
+// label-compatible with the snapshot; labels the data graph has never seen
+// are interned only into the copy, so concurrent calls never mutate shared
+// state. A pattern node with such a fresh label simply has no candidates and
+// the query returns no matches, which is the correct answer.
+func (s *Snapshot) ParsePattern(src string) (*graph.Graph, error) {
+	q, err := graph.ParseString(src, s.g.Labels().Clone())
+	if err != nil {
+		return nil, err
+	}
+	if q.NumNodes() == 0 {
+		return nil, fmt.Errorf("engine: pattern is empty")
+	}
+	return q, nil
+}
+
+// PrepareBalls eagerly materializes Ĝ[v, radius] for every node v and caches
+// the result, so queries whose effective radius equals a prepared one skip
+// ball construction entirely. It returns the number of balls now cached for
+// the radius and is idempotent; concurrent calls for the same radius may
+// duplicate work but converge to one cache entry.
+//
+// Memory scales with the sum of ball sizes, which on dense graphs grows
+// sharply with the radius — prepare only radii that are both hot and small
+// (typical pattern diameters of 1-3 on sparse graphs).
+func (s *Snapshot) PrepareBalls(radius int) int {
+	if radius <= 0 {
+		return 0
+	}
+	s.mu.RLock()
+	cached := s.balls[radius]
+	s.mu.RUnlock()
+	if cached != nil {
+		return len(cached)
+	}
+
+	n := s.g.NumNodes()
+	balls := make([]*graph.Ball, n)
+	var wg sync.WaitGroup
+	next := make(chan int32, runtime.GOMAXPROCS(0))
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				balls[v] = graph.NewBall(s.g, v, radius)
+			}
+		}()
+	}
+	for v := int32(0); v < int32(n); v++ {
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+
+	s.mu.Lock()
+	if existing := s.balls[radius]; existing == nil {
+		s.balls[radius] = balls
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// PreparedRadii returns the radii with a cached ball set, ascending.
+func (s *Snapshot) PreparedRadii() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(s.balls))
+	for r := range s.balls {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DropBalls releases the cached balls for a radius, freeing their memory.
+func (s *Snapshot) DropBalls(radius int) {
+	s.mu.Lock()
+	delete(s.balls, radius)
+	s.mu.Unlock()
+}
+
+// Ball returns Ĝ[center, radius], served from the cache when the radius was
+// prepared and constructed on the fly otherwise. Cached balls are shared
+// across queries and must be treated as read-only, which every evaluator in
+// this repository already does.
+func (s *Snapshot) Ball(center int32, radius int) *graph.Ball {
+	s.mu.RLock()
+	cached := s.balls[radius]
+	s.mu.RUnlock()
+	if cached != nil {
+		return cached[center]
+	}
+	return graph.NewBall(s.g, center, radius)
+}
+
+// CandidateCenters returns the data nodes whose label occurs in q — the only
+// viable ball centers under the label precheck of plain Match (a center
+// absent from every candidate set cannot appear in any Sw, so its ball's
+// DualSim is a no-op). This is the snapshot-side half of the prefilter; the
+// dual-simulation filter narrows it further per query.
+func (s *Snapshot) CandidateCenters(q *graph.Graph) *graph.NodeSet {
+	set := graph.NewNodeSet(s.g.NumNodes())
+	seen := make(map[int32]bool, q.NumNodes())
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		lbl := q.Label(u)
+		if seen[lbl] {
+			continue
+		}
+		seen[lbl] = true
+		for _, v := range s.g.NodesWithLabel(lbl) {
+			set.Add(v)
+		}
+	}
+	return set
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// topK keeps the k best Ranked entries seen so far in O(k) memory, ordered
+// by core.RankedLess — the comparator Result.TopK uses — so engine rankings
+// are interchangeable with rank.go's. k <= 0 keeps everything.
+type topK struct {
+	k   int
+	buf []core.Ranked
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k}
+}
+
+func (t *topK) offer(r core.Ranked) {
+	t.buf = append(t.buf, r)
+	// Compact lazily: sort and truncate once the buffer doubles past k, so
+	// each offer is amortized O(log k)-ish instead of sorting every time.
+	if t.k > 0 && len(t.buf) >= 2*t.k+16 {
+		t.compact()
+	}
+}
+
+func (t *topK) compact() {
+	sort.SliceStable(t.buf, func(i, j int) bool { return core.RankedLess(t.buf[i], t.buf[j]) })
+	if t.k > 0 && len(t.buf) > t.k {
+		t.buf = t.buf[:t.k:t.k]
+	}
+}
+
+// ranked returns the final selection, best first.
+func (t *topK) ranked() []core.Ranked {
+	t.compact()
+	return t.buf
+}

@@ -46,6 +46,23 @@ func (l *Labels) Intern(name string) int32 {
 	return id
 }
 
+// Clone returns an independent copy of the intern table that assigns the
+// same identifiers to every label interned so far. Graphs built against the
+// clone remain label-compatible with graphs built against the original, and
+// labels interned into the clone afterwards do not touch the original —
+// which is how concurrent servers parse request patterns against a shared,
+// otherwise-immutable data-graph table without synchronization.
+func (l *Labels) Clone() *Labels {
+	c := &Labels{
+		byName: make(map[string]int32, len(l.byName)),
+		names:  append([]string(nil), l.names...),
+	}
+	for name, id := range l.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
 // ID returns the identifier for name, or NoLabel if name was never interned.
 func (l *Labels) ID(name string) int32 {
 	if id, ok := l.byName[name]; ok {
