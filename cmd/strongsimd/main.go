@@ -1,16 +1,22 @@
-// Strongsimd serves strong-simulation pattern matching over HTTP/JSON. It
-// loads one data graph (text format of internal/graph) at startup, prepares
-// it as an engine snapshot, and answers concurrent POST /match requests with
-// per-request deadlines.
+// Strongsimd serves strong-simulation pattern matching over HTTP/JSON,
+// against a graph that can change while it serves. It loads one data graph
+// (text format of internal/graph) at startup as version 0 of a mutable
+// live store, answers concurrent POST /match requests against the latest
+// published version, accepts batched mutations, and keeps registered
+// standing queries incrementally maintained across updates.
 //
 //	strongsimd -data graph.g                          # serve on :8372
 //	strongsimd -data graph.g -addr :9000 -workers 8
-//	strongsimd -data graph.g -prepare-radii 1,2      # warm ball caches
+//	strongsimd -data graph.g -prepare-radii 1,2      # warm v0 ball caches
 //
 //	curl -s localhost:8372/match -d '{"pattern":"edge a b","mode":"match+"}'
+//	curl -s localhost:8372/queries -d '{"pattern":"node a HR\nnode b SE\nedge a b"}'
+//	curl -s localhost:8372/update  -d '{"updates":[{"op":"insert_edge","u":3,"v":9}]}'
+//	curl -s localhost:8372/queries/0
 //
-// Endpoints: GET /healthz, GET /graph, POST /match. See DESIGN.md for the
-// request and response schemas.
+// Endpoints: GET /healthz (version, sizes, query count), GET /graph,
+// POST /match, POST /update, POST/GET /queries, GET/DELETE /queries/{id},
+// GET /queries/{id}/delta. See DESIGN.md for the schemas.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/live"
 )
 
 func main() {
@@ -63,15 +70,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	start := time.Now()
-	eng := engine.New(g, engine.Config{Workers: *workers, PrepareRadii: radii})
+	store := live.NewStore(g, live.Config{Workers: *workers})
 	if len(radii) > 0 {
-		log.Printf("prepared balls for radii %v in %v", radii, time.Since(start))
+		// Ball caches belong to one immutable version; they warm the
+		// initial graph and are superseded by the first update batch.
+		start := time.Now()
+		for _, r := range radii {
+			store.Current().Engine().Snapshot().PrepareBalls(r)
+		}
+		log.Printf("prepared v0 balls for radii %v in %v", radii, time.Since(start))
 	}
 
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: engine.NewServer(eng, engine.ServerConfig{
+		Handler: live.NewServer(store, engine.ServerConfig{
 			DefaultTimeout: *timeout,
 			MaxTimeout:     *maxTimeout,
 			MaxBodyBytes:   *maxBody,
@@ -83,7 +95,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (workers=%d)", *addr, eng.Workers())
+		log.Printf("serving on %s (workers=%d)", *addr, store.Engine().Workers())
 		errc <- srv.ListenAndServe()
 	}()
 	select {

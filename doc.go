@@ -22,16 +22,21 @@
 //   - internal/engine: the serving layer — prepared snapshots (frozen
 //     labels, candidate centers, cached balls), a concurrent query engine
 //     with worker-pool ball evaluation, context cancellation, streaming,
-//     top-k early termination and radius-sharing batches, plus the HTTP
-//     handler behind cmd/strongsimd
+//     top-k early termination and radius-sharing batches, plus the /match
+//     HTTP handler
+//   - internal/live: the dynamic-graph layer — a mutable versioned store
+//     (copy-on-write views, atomic update batches, tombstoned deletions)
+//     with incrementally maintained standing queries, served over HTTP by
+//     cmd/strongsimd
 //   - internal/isomorphism: VF2 baseline
 //   - internal/approx: TALE and MCS baselines
 //   - internal/generator: synthetic (n, n^α, l) workloads, Amazon-like and
 //     YouTube-like dataset stand-ins, pattern sampling
 //   - internal/distributed: Section 4.3 partitioned evaluation with
 //     byte-counted traffic
-//   - internal/incremental: Section 6 future work — ball-local maintenance
-//     under edge updates
+//   - internal/incremental: Section 6 future work — single-pattern
+//     ball-local maintenance; exports the dirty-center BFS internal/live
+//     generalizes
 //   - internal/experiments: drivers regenerating every table and figure
 //   - examples/, cmd/: runnable entry points — cmd/strongsim (one-shot
 //     CLI), cmd/strongsimd (HTTP/JSON matching server), cmd/experiments,
@@ -53,6 +58,25 @@
 // data graph. examples/server runs the same loop self-contained, and
 // internal/engine documents the embedded API (engine.New, Engine.Match,
 // Engine.Stream, Engine.MatchBatch).
+//
+// # Live updates quickstart
+//
+// The served graph is mutable: register a standing query, mutate the graph
+// under it, and read the maintained results and their deltas — only the
+// centers within pattern-diameter hops of each change are re-evaluated:
+//
+//	curl -s localhost:8372/queries -d '{
+//	    "pattern": "node a HR\nnode b SE\nedge a b"}'        # -> {"id":0,...}
+//	curl -s localhost:8372/update -d '{"updates":[
+//	    {"op":"add_node","label":"HR"},
+//	    {"op":"insert_edge","u":10000,"v":42}]}'             # -> {"version":1,...}
+//	curl -s localhost:8372/queries/0                         # current matches + version
+//	curl -s localhost:8372/queries/0/delta                   # what just changed
+//
+// Standing results are byte-identical to re-running /match from scratch at
+// the same version. examples/live runs this loop self-contained, and
+// internal/live documents the embedded API (live.NewStore, Store.Apply,
+// Store.Register).
 //
 // The benchmarks in bench_test.go regenerate one table or figure each; see
 // EXPERIMENTS.md for a captured run against the paper's reported numbers

@@ -232,6 +232,37 @@ func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts cor
 	return ctx.Err()
 }
 
+// EvalCenters evaluates the plain-Match ball outcome for each listed center
+// on the engine's worker pool: the ball Ĝ[c, radius] is fetched from the
+// snapshot (cached or fresh) and run through core.EvalPreparedBallWith with
+// zero options and no global relation — exactly the per-center work of a
+// plain Match restricted to the given centers. report is called on the
+// calling goroutine with the center's index in centers and its maximum
+// perfect subgraph (nil when the ball has none), in worker completion order.
+// radius <= 0 uses the pattern diameter. Callers are responsible for any
+// center prefiltering (label precheck); every listed center is evaluated.
+//
+// internal/live uses this to re-evaluate the dirty centers of a standing
+// query after an update batch; the outcomes are interchangeable with those
+// Match computed for the same centers.
+func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, centers []int32, report func(i int, ps *core.PerfectSubgraph)) error {
+	if q == nil || q.NumNodes() == 0 {
+		return fmt.Errorf("engine: empty pattern graph")
+	}
+	if radius <= 0 {
+		dq, connected := graph.Diameter(q)
+		if !connected {
+			return fmt.Errorf("engine: pattern graph must be connected (Section 2.1)")
+		}
+		radius = dq
+	}
+	p := &preparedQuery{qEff: q, radius: radius, centers: centers}
+	return e.evalCenters(ctx, p, core.Options{}, func(o ballOutcome) bool {
+		report(o.pos, o.ps)
+		return true
+	})
+}
+
 func foldStats(dst *core.Stats, src core.Stats) {
 	dst.BallsExamined += src.BallsExamined
 	dst.BallsSkipped += src.BallsSkipped

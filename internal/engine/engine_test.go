@@ -315,3 +315,31 @@ func TestCandidateCenters(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalCentersMatchesPlainMatch drives the exported per-center evaluator
+// over every candidate center and checks the deduplicated outcomes equal a
+// plain Match — the contract internal/live relies on when it re-evaluates
+// dirty centers after an update batch.
+func TestEvalCentersMatchesPlainMatch(t *testing.T) {
+	q, g := testWorkload(t, 400, 11)
+	e := New(g, Config{Workers: 4})
+	want := mustMatch(t, e, q, QueryOptions{})
+
+	centers := e.Snapshot().CandidateCenters(q).Slice()
+	perCenter := make([]*core.PerfectSubgraph, len(centers))
+	err := e.EvalCenters(context.Background(), q, 0, centers, func(i int, ps *core.PerfectSubgraph) {
+		perCenter[i] = ps
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats core.Stats
+	got := core.DedupSubgraphs(perCenter, &stats)
+	core.SortSubgraphs(got)
+	if !reflect.DeepEqual(got, want.Subgraphs) {
+		t.Fatalf("EvalCenters outcomes diverge: %d subgraphs vs %d", len(got), want.Len())
+	}
+	if err := e.EvalCenters(context.Background(), nil, 0, nil, nil); err == nil {
+		t.Fatal("nil pattern should be rejected")
+	}
+}

@@ -24,7 +24,10 @@ type ServerConfig struct {
 	MaxBodyBytes int64
 }
 
-func (c ServerConfig) withDefaults() ServerConfig {
+// WithDefaults returns the config with every zero field replaced by its
+// documented default. Handlers embedding this one (internal/live) apply it
+// so both layers agree on limits.
+func (c ServerConfig) WithDefaults() ServerConfig {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 10 * time.Second
 	}
@@ -110,10 +113,21 @@ type errorJSON struct {
 //
 // Requests are served concurrently against the engine's shared snapshot;
 // each gets a deadline (request-supplied, clamped) whose expiry answers 504.
-// cmd/strongsimd serves this handler standalone; tests and examples mount it
-// wherever convenient.
+// cmd/strongsimd serves the live variant of this handler standalone; tests
+// and examples mount it wherever convenient.
 func NewServer(e *Engine, cfg ServerConfig) http.Handler {
-	s := &server{engine: e, cfg: cfg.withDefaults()}
+	return NewDynamicServer(func() *Engine { return e }, cfg)
+}
+
+// NewDynamicServer is NewServer over an engine *provider*: each request
+// resolves the engine once, up front, and is served entirely against that
+// engine. A mutable deployment (internal/live) hands in its
+// latest-version lookup so one-shot /match queries always answer against the
+// newest published snapshot while in-flight requests keep the consistent
+// view they started with. The provider must be safe for concurrent use and
+// must never return nil.
+func NewDynamicServer(engine func() *Engine, cfg ServerConfig) http.Handler {
+	s := &server{engine: engine, cfg: cfg.WithDefaults()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/graph", s.handleGraph)
@@ -122,37 +136,43 @@ func NewServer(e *Engine, cfg ServerConfig) http.Handler {
 }
 
 type server struct {
-	engine *Engine
+	engine func() *Engine
 	cfg    ServerConfig
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response body with the given status.
+// Exported so handlers layered over this one (internal/live) speak the
+// same wire format.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the {"error": ...} body every handler in this
+// repository answers failures with.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		WriteError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	snap := s.engine.Snapshot()
+	e := s.engine()
+	snap := e.Snapshot()
 	g := snap.Graph()
-	writeJSON(w, http.StatusOK, GraphInfoJSON{
+	WriteJSON(w, http.StatusOK, GraphInfoJSON{
 		Name:          g.Name(),
 		Nodes:         g.NumNodes(),
 		Edges:         g.NumEdges(),
 		Labels:        g.Labels().Len(),
-		Workers:       s.engine.Workers(),
+		Workers:       e.Workers(),
 		PreparedRadii: snap.PreparedRadii(),
 	})
 }
@@ -174,17 +194,18 @@ func metricByName(name string) (core.Metric, error) {
 
 func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		WriteError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	e := s.engine() // one resolution: the whole request sees one version
 	var req MatchRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		WriteError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.Pattern == "" {
-		writeError(w, http.StatusBadRequest, "missing pattern")
+		WriteError(w, http.StatusBadRequest, "missing pattern")
 		return
 	}
 	var opts QueryOptions
@@ -194,14 +215,14 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	case "match+":
 		opts = PlusQuery()
 	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q (want \"match\" or \"match+\")", req.Mode)
+		WriteError(w, http.StatusBadRequest, "unknown mode %q (want \"match\" or \"match+\")", req.Mode)
 		return
 	}
 	opts.Radius = req.Radius
 	opts.Limit = req.Limit
 	metric, err := metricByName(req.Metric)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -215,16 +236,16 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	q, err := s.engine.Snapshot().ParsePattern(req.Pattern)
+	q, err := e.Snapshot().ParsePattern(req.Pattern)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "parsing pattern: %v", err)
+		WriteError(w, http.StatusBadRequest, "parsing pattern: %v", err)
 		return
 	}
 
 	start := time.Now()
 	var resp MatchResponse
 	if req.TopK > 0 {
-		ranked, stats, err := s.engine.MatchTopK(ctx, q, req.TopK, metric, opts)
+		ranked, stats, err := e.MatchTopK(ctx, q, req.TopK, metric, opts)
 		if err != nil {
 			s.writeMatchError(w, err)
 			return
@@ -238,7 +259,7 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 			resp.Matches = append(resp.Matches, sj)
 		}
 	} else {
-		res, err := s.engine.Match(ctx, q, opts)
+		res, err := e.Match(ctx, q, opts)
 		if err != nil {
 			s.writeMatchError(w, err)
 			return
@@ -250,19 +271,19 @@ func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) writeMatchError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		WriteError(w, http.StatusGatewayTimeout, "query deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is moot but 499-style closure
 		// keeps logs honest.
-		writeError(w, http.StatusRequestTimeout, "request cancelled")
+		WriteError(w, http.StatusRequestTimeout, "request cancelled")
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		WriteError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
@@ -275,6 +296,11 @@ func statsJSON(st core.Stats) StatsJSON {
 		MinimizedFrom: st.MinimizedFrom,
 	}
 }
+
+// ToSubgraphJSON serializes one perfect subgraph in the wire form of
+// POST /match responses; the live handler reuses it so standing-query
+// results and one-shot match results read identically.
+func ToSubgraphJSON(ps *core.PerfectSubgraph) SubgraphJSON { return subgraphJSON(ps) }
 
 func subgraphJSON(ps *core.PerfectSubgraph) SubgraphJSON {
 	rel := make(map[string][]int32, len(ps.Rel))

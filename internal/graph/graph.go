@@ -149,6 +149,31 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromParts adopts pre-built graph internals as an immutable Graph without
+// copying or validation. It exists for callers that maintain graph state in
+// this exact representation already — internal/live publishes copy-on-write
+// versions of a mutable store this way, sharing untouched adjacency slices
+// across versions instead of rebuilding O(|V|+|E|) state per update batch.
+//
+// The caller must guarantee the Builder invariants hold and that none of the
+// arguments are mutated afterwards: out and in are per-node sorted,
+// duplicate-free and mutually consistent adjacency; byLabel maps each label
+// id to the ascending node ids carrying it (exactly the nodes v with
+// nodeLbl[v] = id); numEdges is the total length of out. Graphs violating
+// the contract misbehave in every algorithm of this repository; prefer a
+// Builder anywhere construction cost is not on a hot path.
+func FromParts(labels *Labels, nodeLbl []int32, out, in [][]int32, byLabel map[int32][]int32, numEdges int, name string) *Graph {
+	return &Graph{
+		labels:   labels,
+		nodeLbl:  nodeLbl,
+		out:      out,
+		in:       in,
+		numEdges: numEdges,
+		byLabel:  byLabel,
+		name:     name,
+	}
+}
+
 func sortDedup(xs []int32) []int32 {
 	if len(xs) < 2 {
 		return xs

@@ -170,3 +170,35 @@ func TestStringSummary(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+func TestFromPartsMatchesBuilder(t *testing.T) {
+	want := buildDiamond(t)
+	out := make([][]int32, want.NumNodes())
+	in := make([][]int32, want.NumNodes())
+	nodeLbl := make([]int32, want.NumNodes())
+	byLabel := make(map[int32][]int32)
+	for v := int32(0); v < int32(want.NumNodes()); v++ {
+		out[v] = append([]int32(nil), want.Out(v)...)
+		in[v] = append([]int32(nil), want.In(v)...)
+		nodeLbl[v] = want.Label(v)
+		byLabel[want.Label(v)] = append(byLabel[want.Label(v)], v)
+	}
+	got := FromParts(want.Labels(), nodeLbl, out, in, byLabel, want.NumEdges(), "diamond")
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("size mismatch: %v vs %v", got, want)
+	}
+	if !reflect.DeepEqual(got.EdgeList(), want.EdgeList()) {
+		t.Fatalf("edges differ: %v vs %v", got.EdgeList(), want.EdgeList())
+	}
+	for v := int32(0); v < int32(want.NumNodes()); v++ {
+		if got.LabelName(v) != want.LabelName(v) {
+			t.Fatalf("label of %d differs", v)
+		}
+		if !reflect.DeepEqual(got.NodesWithLabel(got.Label(v)), want.NodesWithLabel(want.Label(v))) {
+			t.Fatalf("label index of %d differs", v)
+		}
+	}
+	if got.String() != want.String() {
+		t.Fatalf("String() = %q, want %q", got.String(), want.String())
+	}
+}

@@ -46,6 +46,11 @@ func New(q, g *graph.Graph) (*Matcher, error) {
 	if q.NumNodes() == 0 || !connected {
 		return nil, fmt.Errorf("incremental: pattern must be non-empty and connected")
 	}
+	if q.Labels() != g.Labels() {
+		// Label comparisons are identifier comparisons; distinct intern
+		// tables silently mis-assign candidates instead of failing loudly.
+		return nil, fmt.Errorf("incremental: pattern and data graph must share one label table")
+	}
 	m := &Matcher{q: q, radius: dq, labels: g.Labels()}
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		m.addNode(g.Label(v))
@@ -81,7 +86,8 @@ func (m *Matcher) addNode(label int32) int32 {
 }
 
 // InsertEdge adds the directed edge (u, v) and re-evaluates affected balls.
-// Inserting an existing edge is a no-op.
+// Inserting an existing edge is a no-op (graphs are simple, Section 2.1);
+// self-loops are permitted, as in graph.Builder.
 func (m *Matcher) InsertEdge(u, v int32) error {
 	if err := m.checkNodes(u, v); err != nil {
 		return err
@@ -101,14 +107,15 @@ func (m *Matcher) InsertEdge(u, v int32) error {
 }
 
 // DeleteEdge removes the directed edge (u, v) and re-evaluates affected
-// balls. Deleting a missing edge is a no-op.
+// balls. Deleting an edge that does not exist is an error: a caller whose
+// picture of the graph has drifted from the matcher's should find out, not
+// have the divergence papered over.
 func (m *Matcher) DeleteEdge(u, v int32) error {
 	if err := m.checkNodes(u, v); err != nil {
 		return err
 	}
 	if _, ok := m.out[u][v]; !ok {
-		m.lastRecomputed = 0
-		return nil
+		return fmt.Errorf("incremental: edge (%d,%d) does not exist", u, v)
 	}
 	affected := m.nearEndpoints(u, v)
 	delete(m.out[u], v)
@@ -142,25 +149,46 @@ func (m *Matcher) union(dst map[int32]bool, src map[int32]bool) {
 }
 
 func (m *Matcher) bfsInto(start int32, seen map[int32]bool) {
-	dist := map[int32]int{start: 0}
+	DirtyWithin(start, m.radius, func(v int32, visit func(int32)) {
+		for w := range m.out[v] {
+			visit(w)
+		}
+		for w := range m.in[v] {
+			visit(w)
+		}
+	}, seen)
+}
+
+// Neighbors enumerates the undirected neighborhood of one node: it must call
+// visit once per outgoing and incoming edge endpoint (duplicates are fine).
+// Adapters over any adjacency representation — this package's hash maps,
+// internal/live's copy-on-write sorted slices — plug the same dirty-center
+// computation into different stores.
+type Neighbors func(v int32, visit func(w int32))
+
+// DirtyWithin marks into dirty every node within radius undirected hops of
+// start (including start itself) under the adjacency presented by neighbors.
+// This is the locality bound of Section 6 that makes strong simulation
+// incrementally maintainable: the ball Ĝ[w, dQ] can change only if w lies
+// within dQ hops of a mutated node, so the union of DirtyWithin over the
+// mutation's endpoints — in the adjacency before and after the change — is
+// exactly the set of centers whose cached result may be stale. dirty
+// accumulates across calls; each call runs its own BFS regardless of which
+// nodes earlier calls marked.
+func DirtyWithin(start int32, radius int, neighbors Neighbors, dirty map[int32]bool) {
+	visited := map[int32]bool{start: true}
 	frontier := []int32{start}
-	seen[start] = true
-	for d := 1; d <= m.radius && len(frontier) > 0; d++ {
+	dirty[start] = true
+	for d := 1; d <= radius && len(frontier) > 0; d++ {
 		var next []int32
 		for _, x := range frontier {
-			visit := func(w int32) {
-				if _, ok := dist[w]; !ok {
-					dist[w] = d
-					seen[w] = true
+			neighbors(x, func(w int32) {
+				if !visited[w] {
+					visited[w] = true
+					dirty[w] = true
 					next = append(next, w)
 				}
-			}
-			for w := range m.out[x] {
-				visit(w)
-			}
-			for w := range m.in[x] {
-				visit(w)
-			}
+			})
 		}
 		frontier = next
 	}

@@ -125,29 +125,119 @@ func TestIncrementalLocalityBound(t *testing.T) {
 	sameAsFullRecompute(t, m)
 }
 
-func TestIncrementalNoOps(t *testing.T) {
+func TestIncrementalNoOpsAndErrors(t *testing.T) {
 	q1, g1 := paperdata.Fig1()
 	m, err := New(q1, g1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Inserting an existing edge or deleting a missing one recomputes
-	// nothing.
-	if err := m.InsertEdge(0, 1); err != nil && m.Graph().HasEdge(0, 1) {
+	before := m.Result().Len()
+	// Inserting an existing edge recomputes nothing.
+	var u, v int32 = -1, -1
+	m.Graph().Edges(func(a, b int32) {
+		if u < 0 {
+			u, v = a, b
+		}
+	})
+	if err := m.InsertEdge(u, v); err != nil {
 		t.Fatal(err)
 	}
-	before := m.Result().Len()
-	var u, v int32 = 0, 1
-	if !m.Graph().HasEdge(u, v) {
-		if err := m.DeleteEdge(u, v); err != nil {
-			t.Fatal(err)
-		}
-		if m.LastRecomputed() != 0 {
-			t.Fatal("deleting a missing edge should be a no-op")
-		}
+	if m.LastRecomputed() != 0 {
+		t.Fatal("re-inserting an existing edge should recompute nothing")
+	}
+	// Deleting an absent edge is an error and leaves the state untouched.
+	missingU, missingV := u, v
+	for m.Graph().HasEdge(missingU, missingV) {
+		missingV = (missingV + 1) % int32(m.NumNodes())
+	}
+	if err := m.DeleteEdge(missingU, missingV); err == nil {
+		t.Fatal("deleting an absent edge should be rejected")
 	}
 	if m.Result().Len() != before {
-		t.Fatal("no-ops changed the result")
+		t.Fatal("rejected mutations changed the result")
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func TestIncrementalRejectsOutOfRange(t *testing.T) {
+	q1, g1 := paperdata.Fig1()
+	m, err := New(q1, g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(m.NumNodes())
+	for _, e := range [][2]int32{{-1, 0}, {0, -1}, {n, 0}, {0, n}} {
+		if err := m.InsertEdge(e[0], e[1]); err == nil {
+			t.Fatalf("InsertEdge(%v) should be rejected", e)
+		}
+		if err := m.DeleteEdge(e[0], e[1]); err == nil {
+			t.Fatalf("DeleteEdge(%v) should be rejected", e)
+		}
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func TestIncrementalSelfLoops(t *testing.T) {
+	labels := graph.NewLabels()
+	qb := graph.NewBuilder(labels)
+	a := qb.AddNode("A")
+	_ = qb.AddEdge(a, a) // pattern: A with a self-loop
+	q := qb.Build()
+	gb := graph.NewBuilder(labels)
+	gb.AddNode("A")
+	gb.AddNode("A")
+	g := gb.Build()
+	m, err := New(q, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 0 {
+		t.Fatal("no self-loop in the data graph yet")
+	}
+	if err := m.InsertEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 1 {
+		t.Fatalf("self-loop should match, got %d subgraphs", m.Result().Len())
+	}
+	sameAsFullRecompute(t, m)
+	if err := m.DeleteEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Result().Len() != 0 {
+		t.Fatal("deleting the self-loop should clear the match")
+	}
+	sameAsFullRecompute(t, m)
+}
+
+func TestIncrementalRejectsForeignLabelTable(t *testing.T) {
+	qb := graph.NewBuilder(graph.NewLabels())
+	qb.AddNamedEdge("a", "A", "b", "B")
+	gb := graph.NewBuilder(graph.NewLabels()) // distinct table
+	gb.AddNamedEdge("x", "A", "y", "B")
+	if _, err := New(qb.Build(), gb.Build()); err == nil {
+		t.Fatal("distinct label tables should be rejected")
+	}
+}
+
+func TestDirtyWithinRespectsRadius(t *testing.T) {
+	// Chain 0-1-2-3-4: from node 2 with radius 1, exactly {1,2,3}.
+	adj := map[int32][]int32{0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2, 4}, 4: {3}}
+	neighbors := func(v int32, visit func(int32)) {
+		for _, w := range adj[v] {
+			visit(w)
+		}
+	}
+	dirty := make(map[int32]bool)
+	DirtyWithin(2, 1, neighbors, dirty)
+	if len(dirty) != 3 || !dirty[1] || !dirty[2] || !dirty[3] {
+		t.Fatalf("dirty = %v, want {1,2,3}", dirty)
+	}
+	// Accumulation: a second seed extends the same set and re-walks nodes
+	// the first BFS already marked.
+	DirtyWithin(4, 1, neighbors, dirty)
+	if len(dirty) != 4 || !dirty[4] {
+		t.Fatalf("dirty = %v, want {1,2,3,4}", dirty)
 	}
 }
 
@@ -234,10 +324,12 @@ func TestQuickIncrementalEqualsBatch(t *testing.T) {
 				if m.InsertEdge(u, v) != nil {
 					return false
 				}
-			} else {
+			} else if m.Graph().HasEdge(u, v) {
 				if m.DeleteEdge(u, v) != nil {
 					return false
 				}
+			} else if m.DeleteEdge(u, v) == nil {
+				return false // absent deletes must be rejected
 			}
 			want, err := core.MatchWith(q, m.Graph(), core.Options{Workers: 1})
 			if err != nil {

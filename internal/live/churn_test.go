@@ -1,0 +1,263 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// randomPatternSrc builds a small random connected pattern over the given
+// label alphabet, in the text format Register accepts.
+func randomPatternSrc(rng *rand.Rand, alphabet []string) string {
+	n := 1 + rng.Intn(3)
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("node p%d %s\n", i, alphabet[rng.Intn(len(alphabet))])
+	}
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		if rng.Intn(2) == 0 {
+			src += fmt.Sprintf("edge p%d p%d\n", p, i)
+		} else {
+			src += fmt.Sprintf("edge p%d p%d\n", i, p)
+		}
+	}
+	return src
+}
+
+// randomBatch builds a valid batch of 1-4 mutations against the current
+// graph, tracking which node ids are alive (not tombstoned).
+func randomBatch(rng *rand.Rand, g *graph.Graph, alive []int32, alphabet []string) []Mutation {
+	var muts []Mutation
+	k := 1 + rng.Intn(4)
+	for i := 0; i < k; i++ {
+		switch rng.Intn(10) {
+		case 0: // add a node (occasionally with a brand-new label)
+			label := alphabet[rng.Intn(len(alphabet))]
+			if rng.Intn(4) == 0 {
+				label = fmt.Sprintf("L%d", rng.Intn(1000))
+			}
+			muts = append(muts, Mutation{Op: OpAddNode, Label: label})
+		case 1: // delete a random alive node
+			if len(alive) > 1 {
+				muts = append(muts, Mutation{Op: OpDeleteNode, Node: alive[rng.Intn(len(alive))]})
+				continue
+			}
+			fallthrough
+		default: // toggle a random edge between alive nodes
+			u := alive[rng.Intn(len(alive))]
+			v := alive[rng.Intn(len(alive))]
+			if g.HasEdge(u, v) {
+				muts = append(muts, Mutation{Op: OpDeleteEdge, U: u, V: v})
+			} else {
+				muts = append(muts, Mutation{Op: OpInsertEdge, U: u, V: v})
+			}
+		}
+	}
+	return dropConflicts(muts, g)
+}
+
+// dropConflicts removes mutations invalidated by earlier ones in the same
+// batch (double toggles of one edge, edges touching a node the batch
+// deletes, double deletes), since Apply is all-or-nothing.
+func dropConflicts(muts []Mutation, g *graph.Graph) []Mutation {
+	deleted := map[int32]bool{}
+	inserted := map[[2]int32]bool{}
+	removed := map[[2]int32]bool{}
+	var out []Mutation
+	for _, m := range muts {
+		switch m.Op {
+		case OpInsertEdge:
+			e := [2]int32{m.U, m.V}
+			if deleted[m.U] || deleted[m.V] || inserted[e] || removed[e] {
+				continue
+			}
+			inserted[e] = true
+			out = append(out, m)
+		case OpDeleteEdge:
+			e := [2]int32{m.U, m.V}
+			if deleted[m.U] || deleted[m.V] || inserted[e] || removed[e] {
+				continue
+			}
+			removed[e] = true
+			out = append(out, m)
+		case OpDeleteNode:
+			if deleted[m.Node] {
+				continue
+			}
+			deleted[m.Node] = true
+			out = append(out, m)
+		default:
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// TestChurnEquivalence is the acceptance soak test: interleave random
+// update batches with standing-query registration and unregistration, and
+// after every batch assert each standing result set is byte-identical to
+// engine.Match re-run from scratch on the post-update graph at the same
+// version.
+func TestChurnEquivalence(t *testing.T) {
+	steps := 40
+	if testing.Short() {
+		steps = 12
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			alphabet := []string{"A", "B", "C"}
+
+			b := graph.NewBuilder(nil)
+			n := 8 + rng.Intn(16)
+			for i := 0; i < n; i++ {
+				b.AddNode(alphabet[rng.Intn(len(alphabet))])
+			}
+			for i := 0; i < 2*n; i++ {
+				_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+			}
+			s := NewStore(b.Build(), Config{Workers: 3})
+
+			var standing []*StandingQuery
+			alive := make([]int32, n)
+			for i := range alive {
+				alive[i] = int32(i)
+			}
+			removeAlive := func(v int32) {
+				for i, x := range alive {
+					if x == v {
+						alive = append(alive[:i], alive[i+1:]...)
+						return
+					}
+				}
+			}
+
+			for step := 0; step < steps; step++ {
+				// Churn the query set: mostly register, sometimes drop.
+				if rng.Intn(3) == 0 || len(standing) == 0 {
+					sq, err := s.Register(randomPatternSrc(rng, alphabet))
+					if err != nil {
+						t.Fatalf("step %d: register: %v", step, err)
+					}
+					standing = append(standing, sq)
+				} else if rng.Intn(6) == 0 {
+					i := rng.Intn(len(standing))
+					if !s.Unregister(standing[i].ID()) {
+						t.Fatalf("step %d: unregister failed", step)
+					}
+					standing = append(standing[:i], standing[i+1:]...)
+				}
+
+				muts := randomBatch(rng, s.Current().Graph(), alive, alphabet)
+				if len(muts) == 0 {
+					continue
+				}
+				out, err := s.Apply(muts)
+				if err != nil {
+					t.Fatalf("step %d: apply %v: %v", step, muts, err)
+				}
+				for _, m := range muts {
+					if m.Op == OpDeleteNode {
+						removeAlive(m.Node)
+					}
+				}
+				alive = append(alive, out.AddedNodes...)
+
+				if out.Version != s.Current().ID() {
+					t.Fatalf("step %d: result version %d, store %d", step, out.Version, s.Current().ID())
+				}
+				for _, sq := range standing {
+					checkAgainstScratch(t, s, sq)
+				}
+			}
+		})
+	}
+}
+
+// TestChurnConcurrentReaders exercises the readers-never-block-on-writers
+// contract under the race detector: one writer applies batches while
+// readers hammer one-shot matches, standing results and version graphs.
+func TestChurnConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []string{"A", "B", "C"}
+	b := graph.NewBuilder(nil)
+	const n = 60
+	for i := 0; i < n; i++ {
+		b.AddNode(alphabet[i%len(alphabet)])
+	}
+	for i := 0; i < 2*n; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	s := NewStore(b.Build(), Config{Workers: 2})
+	sq, err := s.Register("node a A\nnode b B\nedge a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ver := s.Current()
+				q, err := ver.Engine().Snapshot().ParsePattern("node a B\nnode b C\nedge a b")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ver.Engine().Match(context.Background(), q, engine.QueryOptions{}); err != nil {
+					t.Error(err)
+					return
+				}
+				res, at := sq.Result()
+				_ = res.Len()
+				if at > s.Current().ID() {
+					t.Error("standing query ahead of the store")
+					return
+				}
+			}
+		}(r)
+	}
+
+	alive := make([]int32, n)
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	for step := 0; step < 30; step++ {
+		muts := randomBatch(rng, s.Current().Graph(), alive, alphabet)
+		if len(muts) == 0 {
+			continue
+		}
+		out, err := s.Apply(muts)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for _, m := range muts {
+			if m.Op == OpDeleteNode {
+				for i, x := range alive {
+					if x == m.Node {
+						alive = append(alive[:i], alive[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		alive = append(alive, out.AddedNodes...)
+	}
+	close(done)
+	wg.Wait()
+	checkAgainstScratch(t, s, sq)
+}

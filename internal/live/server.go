@@ -1,0 +1,290 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// UpdateRequest is the JSON body of POST /update.
+type UpdateRequest struct {
+	Updates []Mutation `json:"updates"`
+}
+
+// mutationWire is the decode side of one mutation: optional fields so the
+// handler can tell "u": 0 from a missing u. Every op names real graph
+// state to destroy or create, and node ids default to 0 — a node that
+// always exists — so a misspelled or forgotten field must answer 400, not
+// silently target node 0.
+type mutationWire struct {
+	Op    Op      `json:"op"`
+	Label *string `json:"label"`
+	U     *int32  `json:"u"`
+	V     *int32  `json:"v"`
+	Node  *int32  `json:"node"`
+}
+
+func (m mutationWire) toMutation(i int) (Mutation, error) {
+	out := Mutation{Op: m.Op}
+	switch m.Op {
+	case OpAddNode:
+		if m.Label == nil {
+			return out, fmt.Errorf("updates[%d]: add_node requires \"label\"", i)
+		}
+		out.Label = *m.Label
+	case OpInsertEdge, OpDeleteEdge:
+		if m.U == nil || m.V == nil {
+			return out, fmt.Errorf("updates[%d]: %s requires \"u\" and \"v\"", i, m.Op)
+		}
+		out.U, out.V = *m.U, *m.V
+	case OpDeleteNode:
+		if m.Node == nil {
+			return out, fmt.Errorf("updates[%d]: delete_node requires \"node\"", i)
+		}
+		out.Node = *m.Node
+	default:
+		return out, fmt.Errorf("updates[%d]: unknown op %q", i, m.Op)
+	}
+	return out, nil
+}
+
+// UpdateResponse answers POST /update. Recomputed maps standing-query ids
+// (serialized as decimal strings, as encoding/json renders integer keys)
+// to the balls re-evaluated maintaining them.
+type UpdateResponse struct {
+	Version    uint64        `json:"version"`
+	Nodes      int           `json:"nodes"`
+	Edges      int           `json:"edges"`
+	AddedNodes []int32       `json:"added_nodes,omitempty"`
+	Recomputed map[int64]int `json:"recomputed,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+}
+
+// RegisterRequest is the JSON body of POST /queries.
+type RegisterRequest struct {
+	Pattern string `json:"pattern"`
+}
+
+// QueryJSON describes one standing query. Matches is populated by
+// GET /queries/{id} and omitted from listings.
+type QueryJSON struct {
+	ID         int64                 `json:"id"`
+	Pattern    string                `json:"pattern,omitempty"`
+	Radius     int                   `json:"radius"`
+	Version    uint64                `json:"version"`
+	NumMatches int                   `json:"num_matches"`
+	Matches    []engine.SubgraphJSON `json:"matches,omitempty"`
+}
+
+// DeltaJSON answers GET /queries/{id}/delta: the change to the result set
+// in the most recent maintenance step (from_version -> version).
+type DeltaJSON struct {
+	ID          int64                 `json:"id"`
+	FromVersion uint64                `json:"from_version"`
+	Version     uint64                `json:"version"`
+	Added       []engine.SubgraphJSON `json:"added"`
+	Removed     []engine.SubgraphJSON `json:"removed"`
+}
+
+// HealthJSON answers GET /healthz.
+type HealthJSON struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Labels  int    `json:"labels"`
+	Queries int    `json:"queries"`
+}
+
+// NewServer wraps a live store as an http.Handler. One-shot queries are the
+// engine's endpoints, answered against the latest published version; the
+// rest drive the mutable store:
+//
+//	GET    /healthz             store summary (version, sizes, query count)
+//	GET    /graph               latest version's data-graph summary
+//	POST   /match               one-shot query against the latest version
+//	POST   /update              apply one atomic mutation batch
+//	POST   /queries             register a standing query
+//	GET    /queries             list standing queries
+//	GET    /queries/{id}        current result set + version
+//	GET    /queries/{id}/delta  last maintenance delta
+//	DELETE /queries/{id}        unregister
+//
+// Wrong methods on any route answer 405. cmd/strongsimd serves this handler
+// standalone.
+func NewServer(st *Store, cfg engine.ServerConfig) http.Handler {
+	s := &server{store: st, cfg: cfg.WithDefaults()}
+	mux := http.NewServeMux()
+	eh := engine.NewDynamicServer(st.Engine, cfg)
+	mux.Handle("/match", eh)
+	mux.Handle("/graph", eh)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("POST /queries", s.handleRegister)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("GET /queries/{id}", s.handleGet)
+	mux.HandleFunc("GET /queries/{id}/delta", s.handleDelta)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleUnregister)
+	return mux
+}
+
+type server struct {
+	store *Store
+	cfg   engine.ServerConfig
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	ver := s.store.Current()
+	g := ver.Graph()
+	engine.WriteJSON(w, http.StatusOK, HealthJSON{
+		Status:  "ok",
+		Version: ver.ID(),
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Labels:  g.Labels().Len(),
+		Queries: s.store.NumQueries(),
+	})
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Updates []mutationWire `json:"updates"`
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	muts := make([]Mutation, 0, len(req.Updates))
+	for i, mw := range req.Updates {
+		m, err := mw.toMutation(i)
+		if err != nil {
+			engine.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		muts = append(muts, m)
+	}
+	start := time.Now()
+	res, err := s.store.Apply(muts)
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, UpdateResponse{
+		Version:    res.Version,
+		Nodes:      res.Nodes,
+		Edges:      res.Edges,
+		AddedNodes: res.AddedNodes,
+		Recomputed: res.Recomputed,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Pattern == "" {
+		engine.WriteError(w, http.StatusBadRequest, "missing pattern")
+		return
+	}
+	sq, err := s.store.Register(req.Pattern)
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	engine.WriteJSON(w, http.StatusCreated, s.queryJSON(sq, false))
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	qs := s.store.Queries()
+	out := make([]QueryJSON, 0, len(qs))
+	for _, sq := range qs {
+		out = append(out, s.queryJSON(sq, false))
+	}
+	engine.WriteJSON(w, http.StatusOK, out)
+}
+
+func (s *server) queryByID(w http.ResponseWriter, r *http.Request) *StandingQuery {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "bad query id %q", r.PathValue("id"))
+		return nil
+	}
+	sq := s.store.Query(id)
+	if sq == nil {
+		engine.WriteError(w, http.StatusNotFound, "no standing query %d", id)
+		return nil
+	}
+	return sq
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sq := s.queryByID(w, r)
+	if sq == nil {
+		return
+	}
+	engine.WriteJSON(w, http.StatusOK, s.queryJSON(sq, true))
+}
+
+func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	sq := s.queryByID(w, r)
+	if sq == nil {
+		return
+	}
+	added, removed, from, to := sq.Delta()
+	resp := DeltaJSON{
+		ID:          sq.ID(),
+		FromVersion: from,
+		Version:     to,
+		Added:       make([]engine.SubgraphJSON, 0, len(added)),
+		Removed:     make([]engine.SubgraphJSON, 0, len(removed)),
+	}
+	for _, ps := range added {
+		resp.Added = append(resp.Added, engine.ToSubgraphJSON(ps))
+	}
+	for _, ps := range removed {
+		resp.Removed = append(resp.Removed, engine.ToSubgraphJSON(ps))
+	}
+	engine.WriteJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		engine.WriteError(w, http.StatusBadRequest, "bad query id %q", r.PathValue("id"))
+		return
+	}
+	if !s.store.Unregister(id) {
+		engine.WriteError(w, http.StatusNotFound, "no standing query %d", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) queryJSON(sq *StandingQuery, includeMatches bool) QueryJSON {
+	res, ver := sq.Result()
+	qj := QueryJSON{
+		ID:         sq.ID(),
+		Pattern:    sq.Source(),
+		Radius:     sq.Radius(),
+		Version:    ver,
+		NumMatches: res.Len(),
+	}
+	if includeMatches {
+		qj.Matches = make([]engine.SubgraphJSON, 0, res.Len())
+		for _, ps := range res.Subgraphs {
+			qj.Matches = append(qj.Matches, engine.ToSubgraphJSON(ps))
+		}
+	}
+	return qj
+}

@@ -1,0 +1,153 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Store) {
+	t.Helper()
+	s := NewStore(chain([]string{"A", "B", "C"}, 6), Config{Workers: 2})
+	ts := httptest.NewServer(NewServer(s, engine.ServerConfig{}))
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func doJSON(t *testing.T, method, url string, req, resp any) *http.Response {
+	t.Helper()
+	var body bytes.Buffer
+	if req != nil {
+		if err := json.NewEncoder(&body).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	httpReq, err := http.NewRequest(method, url, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil && r.StatusCode < 300 {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestServerLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Health before any update.
+	var health HealthJSON
+	if r := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); r.StatusCode != 200 {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+	if health.Status != "ok" || health.Version != 0 || health.Nodes != 6 || health.Edges != 5 || health.Queries != 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	// Register a standing query.
+	var qj QueryJSON
+	r := doJSON(t, "POST", ts.URL+"/queries", RegisterRequest{Pattern: "node a A\nnode b B\nedge a b"}, &qj)
+	if r.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", r.StatusCode)
+	}
+	if qj.NumMatches != 2 || qj.Version != 0 {
+		t.Fatalf("register response %+v", qj)
+	}
+
+	// One-shot match agrees and answers against the same graph.
+	var mr engine.MatchResponse
+	doJSON(t, "POST", ts.URL+"/match", engine.MatchRequest{Pattern: "node a A\nnode b B\nedge a b"}, &mr)
+	if len(mr.Matches) != 2 {
+		t.Fatalf("one-shot match found %d, want 2", len(mr.Matches))
+	}
+
+	// Apply a batch; the standing query updates.
+	var ur UpdateResponse
+	r = doJSON(t, "POST", ts.URL+"/update", UpdateRequest{Updates: []Mutation{{Op: OpDeleteEdge, U: 0, V: 1}}}, &ur)
+	if r.StatusCode != 200 || ur.Version != 1 {
+		t.Fatalf("update status %d, %+v", r.StatusCode, ur)
+	}
+	if _, ok := ur.Recomputed[qj.ID]; !ok {
+		t.Fatalf("update response missing recompute stats: %+v", ur)
+	}
+
+	var got QueryJSON
+	doJSON(t, "GET", fmt.Sprintf("%s/queries/%d", ts.URL, qj.ID), nil, &got)
+	if got.Version != 1 || got.NumMatches != 1 || len(got.Matches) != 1 {
+		t.Fatalf("query after update = %+v", got)
+	}
+
+	// The delta reflects the removal.
+	var delta DeltaJSON
+	doJSON(t, "GET", fmt.Sprintf("%s/queries/%d/delta", ts.URL, qj.ID), nil, &delta)
+	if delta.FromVersion != 0 || delta.Version != 1 || len(delta.Added) != 0 || len(delta.Removed) != 1 {
+		t.Fatalf("delta = %+v", delta)
+	}
+
+	// One-shot /match answers against the NEW version.
+	doJSON(t, "POST", ts.URL+"/match", engine.MatchRequest{Pattern: "node a A\nnode b B\nedge a b"}, &mr)
+	if len(mr.Matches) != 1 {
+		t.Fatalf("one-shot match after update found %d, want 1", len(mr.Matches))
+	}
+
+	// Listing and unregistration.
+	var list []QueryJSON
+	doJSON(t, "GET", ts.URL+"/queries", nil, &list)
+	if len(list) != 1 || list[0].ID != qj.ID {
+		t.Fatalf("list = %+v", list)
+	}
+	if r := doJSON(t, "DELETE", fmt.Sprintf("%s/queries/%d", ts.URL, qj.ID), nil, nil); r.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", r.StatusCode)
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, &health)
+	if health.Queries != 0 || health.Version != 1 {
+		t.Fatalf("healthz after unregister = %+v", health)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"GET", "/match", nil, http.StatusMethodNotAllowed},
+		{"PUT", "/match", nil, http.StatusMethodNotAllowed},
+		{"GET", "/update", nil, http.StatusMethodNotAllowed},
+		{"DELETE", "/queries", nil, http.StatusMethodNotAllowed},
+		{"POST", "/queries/1", nil, http.StatusMethodNotAllowed},
+		{"POST", "/update", UpdateRequest{}, http.StatusBadRequest},
+		{"POST", "/update", UpdateRequest{Updates: []Mutation{{Op: "bogus"}}}, http.StatusBadRequest},
+		// Destructive ops must name their target explicitly: a missing or
+		// misspelled field would otherwise default to node 0.
+		{"POST", "/update", json.RawMessage(`{"updates":[{"op":"delete_node"}]}`), http.StatusBadRequest},
+		{"POST", "/update", json.RawMessage(`{"updates":[{"op":"delete_node","id":2}]}`), http.StatusBadRequest},
+		{"POST", "/update", json.RawMessage(`{"updates":[{"op":"insert_edge","u":1}]}`), http.StatusBadRequest},
+		{"POST", "/update", json.RawMessage(`{"updates":[{"op":"add_node"}]}`), http.StatusBadRequest},
+		{"POST", "/update", json.RawMessage(`{"updatez":[]}`), http.StatusBadRequest},
+		{"POST", "/queries", RegisterRequest{}, http.StatusBadRequest},
+		{"POST", "/queries", RegisterRequest{Pattern: "node a A\nnode b B"}, http.StatusBadRequest},
+		{"GET", "/queries/999", nil, http.StatusNotFound},
+		{"GET", "/queries/abc", nil, http.StatusBadRequest},
+		{"DELETE", "/queries/999", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		r := doJSON(t, tc.method, ts.URL+tc.path, tc.body, nil)
+		if r.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, r.StatusCode, tc.want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// StandingQuery is one registered pattern whose full strong-simulation
+// result set the store keeps current. The per-center cache holds the
+// maximum perfect subgraph of each ball (nil where there is none), exactly
+// the intermediate state of a plain engine.Match; maintenance overwrites
+// only dirty centers. Readers access the assembled result through an atomic
+// snapshot and never block on maintenance.
+type StandingQuery struct {
+	id      int64
+	pattern *graph.Graph
+	src     string
+	radius  int
+
+	// Maintenance state, guarded by the store's lock.
+	perCenter []*core.PerfectSubgraph
+
+	// state is the published read side, swapped whole so readers never see
+	// a half-maintained result.
+	state atomic.Pointer[queryState]
+}
+
+// queryState is one immutable published standing-query result.
+type queryState struct {
+	version uint64
+	result  *core.Result
+	// Delta against the previous published state: subgraphs that appeared
+	// and disappeared, in canonical order. For the registration state the
+	// delta is the full result against an empty set.
+	fromVersion uint64
+	added       []*core.PerfectSubgraph
+	removed     []*core.PerfectSubgraph
+}
+
+// ID returns the query's registration id.
+func (sq *StandingQuery) ID() int64 { return sq.id }
+
+// Pattern returns the registered pattern graph. Treat as read-only.
+func (sq *StandingQuery) Pattern() *graph.Graph { return sq.pattern }
+
+// Source returns the pattern text the query was registered with.
+func (sq *StandingQuery) Source() string { return sq.src }
+
+// Radius returns the maintained ball radius (the pattern diameter).
+func (sq *StandingQuery) Radius() int { return sq.radius }
+
+// Register parses a pattern (text format of internal/graph) against the
+// store's master label table, evaluates it fully against the current
+// version, and keeps its result set maintained across every future update
+// batch until Unregister. The pattern must be non-empty and connected.
+func (s *Store) Register(patternSrc string) (*StandingQuery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Parse against the master table itself: novel pattern labels are
+	// interned for good, so their identifiers can never collide with
+	// labels future updates introduce. (A per-query clone, as /match uses,
+	// would be wrong here — standing queries outlive the snapshot they
+	// were parsed against.)
+	before := s.labels.Len()
+	q, err := graph.ParseString(patternSrc, s.labels)
+	if err != nil {
+		return nil, fmt.Errorf("live: parsing pattern: %w", err)
+	}
+	if s.labels.Len() != before {
+		s.labelsDirty = true
+	}
+	if q.NumNodes() == 0 {
+		return nil, fmt.Errorf("live: pattern is empty")
+	}
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		return nil, fmt.Errorf("live: pattern graph must be connected (Section 2.1)")
+	}
+
+	ver := s.Current()
+	sq := &StandingQuery{
+		id:        s.nextID,
+		pattern:   q,
+		src:       patternSrc,
+		radius:    dq,
+		perCenter: make([]*core.PerfectSubgraph, len(s.nodeLbl)),
+	}
+	s.nextID++
+
+	// Initial evaluation: every candidate center, on the engine's pool.
+	centers := candidateCenters(q, s.byLabel, len(s.nodeLbl))
+	if err := evalInto(ver.eng, q, sq.radius, centers, sq.perCenter); err != nil {
+		return nil, err
+	}
+	st := &queryState{version: ver.id, fromVersion: ver.id, result: assemble(sq.perCenter)}
+	st.added = st.result.Subgraphs
+	sq.state.Store(st)
+
+	s.qmu.Lock()
+	s.queries[sq.id] = sq
+	s.qmu.Unlock()
+	return sq, nil
+}
+
+// Unregister removes a standing query; false if the id is unknown. It does
+// not wait for in-flight maintenance: an update already running may bring
+// the dropped query current one last time, which nothing observes.
+func (s *Store) Unregister(id int64) bool {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if _, ok := s.queries[id]; !ok {
+		return false
+	}
+	delete(s.queries, id)
+	return true
+}
+
+// Query returns the standing query registered under id, or nil.
+func (s *Store) Query(id int64) *StandingQuery {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.queries[id]
+}
+
+// Queries returns every registered standing query, ascending by id.
+func (s *Store) Queries() []*StandingQuery {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	out := make([]*StandingQuery, 0, len(s.queries))
+	for _, sq := range s.queries {
+		out = append(out, sq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// NumQueries returns the number of registered standing queries.
+func (s *Store) NumQueries() int {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return len(s.queries)
+}
+
+// Result returns the query's current result set and the version it is
+// exact for. The result is immutable and shared; treat as read-only. It is
+// byte-identical to engine.Match of the pattern (plain options) against
+// that version's graph.
+func (sq *StandingQuery) Result() (*core.Result, uint64) {
+	st := sq.state.Load()
+	return st.result, st.version
+}
+
+// Delta returns the subgraphs that entered and left the result set in the
+// most recent maintenance step, with the version interval they describe:
+// the result at `to` is the result at `from` minus removed plus added. For
+// a freshly registered query both versions are the registration version
+// and added holds the full initial result.
+func (sq *StandingQuery) Delta() (added, removed []*core.PerfectSubgraph, from, to uint64) {
+	st := sq.state.Load()
+	return st.added, st.removed, st.fromVersion, st.version
+}
+
+// maintainLocked brings one standing query up to date with a freshly
+// published version: re-evaluate the dirty centers (computed by the
+// caller, shared across queries of equal radius) on the engine's worker
+// pool and publish the new assembled result with its delta. Returns the
+// number of balls evaluated. Callers hold the store lock; s.out/s.in
+// already describe ver's graph, and dirty is read-only here.
+func (s *Store) maintainLocked(sq *StandingQuery, ver *Version, dirty []int32) int {
+	// Grow the cache for nodes added by the batch.
+	for len(sq.perCenter) < len(s.nodeLbl) {
+		sq.perCenter = append(sq.perCenter, nil)
+	}
+
+	// Label precheck, as in Match: a center whose label does not occur in
+	// the pattern cannot anchor a perfect subgraph. Evaluate the rest.
+	changed := false
+	eval := make([]int32, 0, len(dirty))
+	for _, c := range dirty {
+		if len(sq.pattern.NodesWithLabel(s.nodeLbl[c])) == 0 {
+			if sq.perCenter[c] != nil {
+				sq.perCenter[c] = nil
+				changed = true
+			}
+			continue
+		}
+		eval = append(eval, c)
+	}
+	if len(eval) > 0 {
+		// The error path is unreachable: the pattern was validated at
+		// registration and the context cannot expire.
+		_ = evalInto(ver.eng, sq.pattern, sq.radius, eval, sq.perCenter)
+		changed = true
+	}
+
+	prev := sq.state.Load()
+	if !changed {
+		// No cache slot moved, so the result set cannot have: republish
+		// the previous result at the new version with an empty delta,
+		// skipping reassembly and diffing — the common case for updates
+		// far from any center carrying a pattern label.
+		sq.state.Store(&queryState{version: ver.id, fromVersion: prev.version, result: prev.result})
+		return 0
+	}
+	st := &queryState{
+		version:     ver.id,
+		fromVersion: prev.version,
+		result:      assemble(sq.perCenter),
+	}
+	st.added, st.removed = diffResults(prev.result, st.result)
+	sq.state.Store(st)
+	return len(eval)
+}
+
+// candidateCenters unions the per-label node lists over the pattern's
+// labels — Snapshot.CandidateCenters against the store's mutable index.
+func candidateCenters(q *graph.Graph, byLabel map[int32][]int32, n int) []int32 {
+	set := graph.NewNodeSet(n)
+	seen := make(map[int32]bool, q.NumNodes())
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		lbl := q.Label(u)
+		if seen[lbl] {
+			continue
+		}
+		seen[lbl] = true
+		for _, v := range byLabel[lbl] {
+			set.Add(v)
+		}
+	}
+	return set.Slice()
+}
+
+// evalInto evaluates the given centers on the engine's worker pool and
+// writes each outcome into perCenter at the center's own id.
+func evalInto(e *engine.Engine, q *graph.Graph, radius int, centers []int32, perCenter []*core.PerfectSubgraph) error {
+	return e.EvalCenters(context.Background(), q, radius, centers, func(i int, ps *core.PerfectSubgraph) {
+		perCenter[centers[i]] = ps
+	})
+}
+
+// assemble folds the per-center cache into a canonical result — the same
+// dedup rule (ascending centers, first admission wins) and ordering as
+// engine.Match, so assembled results are byte-identical to a from-scratch
+// Match on the same graph. Stats are not maintained incrementally and
+// stay zero.
+func assemble(perCenter []*core.PerfectSubgraph) *core.Result {
+	res := &core.Result{}
+	var discard core.Stats // per-run work counters are not maintained
+	res.Subgraphs = core.DedupSubgraphs(perCenter, &discard)
+	core.SortSubgraphs(res.Subgraphs)
+	return res
+}
+
+// diffResults returns the subgraphs present only in next (added) and only
+// in prev (removed), in canonical order. Each subgraph's signature is
+// encoded exactly once.
+func diffResults(prev, next *core.Result) (added, removed []*core.PerfectSubgraph) {
+	prevSig := make([]string, prev.Len())
+	prevSet := make(map[string]bool, prev.Len())
+	for i, ps := range prev.Subgraphs {
+		prevSig[i] = ps.Signature()
+		prevSet[prevSig[i]] = true
+	}
+	nextSet := make(map[string]bool, next.Len())
+	for _, ps := range next.Subgraphs {
+		sig := ps.Signature()
+		nextSet[sig] = true
+		if !prevSet[sig] {
+			added = append(added, ps)
+		}
+	}
+	for i, ps := range prev.Subgraphs {
+		if !nextSet[prevSig[i]] {
+			removed = append(removed, ps)
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,543 @@
+// Package live is the dynamic-graph layer of the serving system: a mutable
+// graph store that accepts batched node/edge insertions and deletions while
+// continuing to answer strong-simulation queries, and a set of standing
+// queries whose full result sets are kept current incrementally.
+//
+// It closes the loop the paper leaves open in Section 6 ("incremental
+// methods for strong simulation ... in response to (frequent) changes to
+// real-life graphs") at serving scale: where internal/incremental maintains
+// one pattern over a private hash-map graph, this package maintains many
+// patterns over one shared store, applies updates in atomic batches, and
+// re-evaluates only the ≤ dQ-hop dirty centers of each pattern on the query
+// engine's worker pool.
+//
+// Two properties organize the design:
+//
+//   - Readers never block on writers. Every successful update batch
+//     publishes a new immutable version — a full *graph.Graph behind an
+//     engine.Snapshot — through one atomic pointer swap. The version is
+//     built copy-on-write: adjacency slices of untouched nodes, the label
+//     table and the per-label node index are shared with prior versions;
+//     only what the batch touched is copied. In-flight queries keep the
+//     version they started with.
+//
+//   - Standing-query maintenance is ball-local. An update can change the
+//     ball Ĝ[w, dQ] only if w lies within dQ undirected hops of a mutated
+//     node in the graph before or after the batch
+//     (incremental.DirtyWithin), so maintenance re-evaluates exactly those
+//     centers and keeps every other cached perfect subgraph. Results are
+//     assembled with the same dedup and ordering as engine.Match, so a
+//     standing query's result set is byte-identical to re-running Match
+//     from scratch on the current version.
+//
+// See DESIGN.md for the versioning model and memory behavior, and
+// cmd/strongsimd for the HTTP surface (POST /update, POST/GET/DELETE
+// /queries, GET /queries/{id}, plus the engine's /match and /graph).
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/incremental"
+)
+
+// TombstoneLabel is the label deleted nodes are re-labeled with. Node ids
+// are dense and versions share adjacency, so deletion cannot compact ids;
+// instead DeleteNode drops every incident edge and moves the node to this
+// label — the node keeps its id but can never match again. The label
+// contains a space: the text format's labels are whitespace-delimited
+// tokens, so no pattern reaching Register or /match can ever parse to it,
+// and add_node rejects it explicitly.
+const TombstoneLabel = "\x00deleted node"
+
+// Op names one mutation kind in a batch.
+type Op string
+
+// The mutation kinds accepted by Store.Apply.
+const (
+	OpAddNode    Op = "add_node"
+	OpInsertEdge Op = "insert_edge"
+	OpDeleteEdge Op = "delete_edge"
+	OpDeleteNode Op = "delete_node"
+)
+
+// Mutation is one element of an update batch. Which fields matter depends
+// on Op: add_node reads Label; insert_edge and delete_edge read U and V;
+// delete_node reads Node. Edge mutations may reference nodes added earlier
+// in the same batch.
+type Mutation struct {
+	Op    Op     `json:"op"`
+	Label string `json:"label,omitempty"`
+	U     int32  `json:"u"`
+	V     int32  `json:"v"`
+	Node  int32  `json:"node"`
+}
+
+// Config configures a Store.
+type Config struct {
+	// Workers is the number of goroutines evaluating balls during standing-
+	// query maintenance and registration; 0 uses GOMAXPROCS. It is also the
+	// worker budget of every published version's engine.
+	Workers int
+}
+
+// Version is one immutable published state of the store: a dense id and a
+// query engine over the snapshot of the graph at that state. Versions
+// remain fully usable after newer versions are published.
+type Version struct {
+	id  uint64
+	eng *engine.Engine
+}
+
+// ID returns the version number; version 0 is the graph the store was
+// created with, and each successful update batch increments it by one.
+func (v *Version) ID() uint64 { return v.id }
+
+// Engine returns the query engine over this version.
+func (v *Version) Engine() *engine.Engine { return v.eng }
+
+// Graph returns this version's immutable data graph.
+func (v *Version) Graph() *graph.Graph { return v.eng.Snapshot().Graph() }
+
+// UpdateResult reports one applied batch.
+type UpdateResult struct {
+	// Version is the id of the newly published version.
+	Version uint64
+	// AddedNodes lists the ids assigned to add_node mutations, in batch
+	// order.
+	AddedNodes []int32
+	// Recomputed counts, per standing query id, the balls re-evaluated to
+	// maintain it — the dirty centers that survived the label precheck.
+	Recomputed map[int64]int
+	// Nodes and Edges are the post-batch graph size.
+	Nodes, Edges int
+}
+
+// Store is a mutable versioned graph store with standing queries. All
+// mutations and registrations are serialized by an internal lock; reads —
+// Current, query results, and every query against a published version —
+// are lock-free and never block on writers.
+type Store struct {
+	workers int
+	name    string
+
+	// current is the latest published version, swapped atomically so
+	// readers never observe a partially built state.
+	current atomic.Pointer[Version]
+
+	mu sync.Mutex // guards everything below
+
+	// labels is the master intern table. It is mutated only under mu (new
+	// node labels, pattern labels at registration); published versions see
+	// frozen clones, re-cloned only when the table grew since the last
+	// publish.
+	labels      *graph.Labels
+	frozen      *graph.Labels
+	labelsDirty bool
+	tombstone   int32 // label id of TombstoneLabel, -1 until first deletion
+
+	// Mutable graph state in the exact representation graph.FromParts
+	// adopts. Slices are copy-on-write: publishing hands the current slices
+	// to an immutable view, and the next batch copies (top level always,
+	// per-node and per-label only when touched) before writing.
+	nodeLbl  []int32
+	out, in  [][]int32
+	byLabel  map[int32][]int32
+	numEdges int
+	nextID   int64
+
+	// qmu guards only the queries map, separately from mu, so lookups and
+	// listings stay responsive while Apply holds mu through maintenance.
+	// Lock ordering: mu before qmu, never the reverse.
+	qmu     sync.RWMutex
+	queries map[int64]*StandingQuery
+}
+
+// NewStore wraps an initial graph as version 0 of a mutable store. The
+// graph and its label table must not be mutated afterwards (the same
+// contract as engine.NewSnapshot); the store never mutates them either —
+// the first update batch copies what it touches.
+func NewStore(g *graph.Graph, cfg Config) *Store {
+	n := g.NumNodes()
+	s := &Store{
+		workers:   cfg.Workers,
+		name:      g.Name(),
+		labels:    g.Labels().Clone(),
+		frozen:    g.Labels(),
+		tombstone: -1,
+		nodeLbl:   make([]int32, n),
+		out:       make([][]int32, n),
+		in:        make([][]int32, n),
+		byLabel:   make(map[int32][]int32, g.Labels().Len()),
+		numEdges:  g.NumEdges(),
+		queries:   make(map[int64]*StandingQuery),
+	}
+	for v := int32(0); v < int32(n); v++ {
+		s.nodeLbl[v] = g.Label(v)
+		s.out[v] = g.Out(v)
+		s.in[v] = g.In(v)
+	}
+	seen := make(map[int32]bool)
+	for v := int32(0); v < int32(n); v++ {
+		if lbl := g.Label(v); !seen[lbl] {
+			seen[lbl] = true
+			s.byLabel[lbl] = g.NodesWithLabel(lbl)
+		}
+	}
+	s.current.Store(&Version{id: 0, eng: engine.New(g, engine.Config{Workers: cfg.Workers})})
+	return s
+}
+
+// Current returns the latest published version.
+func (s *Store) Current() *Version { return s.current.Load() }
+
+// Engine returns the latest version's query engine (the provider
+// engine.NewDynamicServer wants).
+func (s *Store) Engine() *engine.Engine { return s.Current().Engine() }
+
+// batchState is the copy-on-write working state of one Apply call. Nothing
+// in it is visible to readers until publish; abandoning it on error leaves
+// the store exactly as before.
+type batchState struct {
+	nodeLbl       []int32
+	nodeLblCopied bool // full copy taken (a label changed in place)
+	out, in       [][]int32
+	touchedOut    map[int32]bool
+	touchedIn     map[int32]bool
+	byLabel       map[int32][]int32
+	byLabelCopied bool
+	touchedLabels map[int32]bool
+	numEdges      int
+
+	seeds []int32 // nodes whose ≤ dQ-hop neighborhoods are dirty
+	seen  map[int32]bool
+	added []int32
+}
+
+func (s *Store) newBatch() *batchState {
+	b := &batchState{
+		nodeLbl:       s.nodeLbl,
+		out:           append(make([][]int32, 0, len(s.out)), s.out...),
+		in:            append(make([][]int32, 0, len(s.in)), s.in...),
+		touchedOut:    make(map[int32]bool),
+		touchedIn:     make(map[int32]bool),
+		byLabel:       s.byLabel,
+		touchedLabels: make(map[int32]bool),
+		numEdges:      s.numEdges,
+		seen:          make(map[int32]bool),
+	}
+	return b
+}
+
+func (b *batchState) seed(v int32) {
+	if !b.seen[v] {
+		b.seen[v] = true
+		b.seeds = append(b.seeds, v)
+	}
+}
+
+func (b *batchState) ownOut(u int32) {
+	if !b.touchedOut[u] {
+		b.out[u] = append([]int32(nil), b.out[u]...)
+		b.touchedOut[u] = true
+	}
+}
+
+func (b *batchState) ownIn(v int32) {
+	if !b.touchedIn[v] {
+		b.in[v] = append([]int32(nil), b.in[v]...)
+		b.touchedIn[v] = true
+	}
+}
+
+func (b *batchState) ownByLabel(lbl int32) {
+	if !b.byLabelCopied {
+		m := make(map[int32][]int32, len(b.byLabel))
+		for k, v := range b.byLabel {
+			m[k] = v
+		}
+		b.byLabel = m
+		b.byLabelCopied = true
+	}
+	if !b.touchedLabels[lbl] {
+		b.byLabel[lbl] = append([]int32(nil), b.byLabel[lbl]...)
+		b.touchedLabels[lbl] = true
+	}
+}
+
+func (b *batchState) checkNode(v int32, what string) error {
+	if v < 0 || int(v) >= len(b.nodeLbl) {
+		return fmt.Errorf("live: %s names unknown node %d (have %d)", what, v, len(b.nodeLbl))
+	}
+	return nil
+}
+
+// insertSorted adds v to a sorted owned slice; false if already present.
+func insertSorted(xs []int32, v int32) ([]int32, bool) {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	if i < len(xs) && xs[i] == v {
+		return xs, false
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs, true
+}
+
+// removeSorted deletes v from a sorted owned slice; false if absent.
+func removeSorted(xs []int32, v int32) ([]int32, bool) {
+	i := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+	if i >= len(xs) || xs[i] != v {
+		return xs, false
+	}
+	return append(xs[:i], xs[i+1:]...), true
+}
+
+func (s *Store) applyOne(b *batchState, m Mutation) error {
+	switch m.Op {
+	case OpAddNode:
+		if m.Label == "" {
+			return fmt.Errorf("live: add_node requires a label")
+		}
+		if m.Label == TombstoneLabel {
+			return fmt.Errorf("live: label is reserved")
+		}
+		lbl := s.labels.ID(m.Label)
+		if lbl == graph.NoLabel {
+			// Interning is append-only and survives even a failed batch
+			// (identifiers must stay stable); flag the publish-time clone
+			// immediately so no later version ships a table missing it.
+			lbl = s.labels.Intern(m.Label)
+			s.labelsDirty = true
+		}
+		v := int32(len(b.nodeLbl))
+		b.nodeLbl = append(b.nodeLbl, lbl)
+		b.out = append(b.out, nil)
+		b.in = append(b.in, nil)
+		b.touchedOut[v] = true
+		b.touchedIn[v] = true
+		b.ownByLabel(lbl)
+		b.byLabel[lbl] = append(b.byLabel[lbl], v) // ids grow, stays sorted
+		b.added = append(b.added, v)
+		b.seed(v)
+		return nil
+
+	case OpInsertEdge, OpDeleteEdge:
+		if err := b.checkNode(m.U, string(m.Op)); err != nil {
+			return err
+		}
+		if err := b.checkNode(m.V, string(m.Op)); err != nil {
+			return err
+		}
+		if s.isTombstone(b.nodeLbl[m.U]) || s.isTombstone(b.nodeLbl[m.V]) {
+			return fmt.Errorf("live: %s (%d,%d) touches a deleted node", m.Op, m.U, m.V)
+		}
+		if m.Op == OpInsertEdge {
+			b.ownOut(m.U)
+			xs, ok := insertSorted(b.out[m.U], m.V)
+			if !ok {
+				return nil // re-inserting an existing edge is a no-op
+			}
+			b.out[m.U] = xs
+			b.ownIn(m.V)
+			b.in[m.V], _ = insertSorted(b.in[m.V], m.U)
+			b.numEdges++
+		} else {
+			b.ownOut(m.U)
+			xs, ok := removeSorted(b.out[m.U], m.V)
+			if !ok {
+				return fmt.Errorf("live: edge (%d,%d) does not exist", m.U, m.V)
+			}
+			b.out[m.U] = xs
+			b.ownIn(m.V)
+			b.in[m.V], _ = removeSorted(b.in[m.V], m.U)
+			b.numEdges--
+		}
+		b.seed(m.U)
+		b.seed(m.V)
+		return nil
+
+	case OpDeleteNode:
+		if err := b.checkNode(m.Node, "delete_node"); err != nil {
+			return err
+		}
+		old := b.nodeLbl[m.Node]
+		if s.isTombstone(old) {
+			return fmt.Errorf("live: node %d is already deleted", m.Node)
+		}
+		if s.tombstone < 0 {
+			s.tombstone = s.labels.Intern(TombstoneLabel)
+			s.labelsDirty = true
+		}
+		// Drop every incident edge. The node itself is the only dirty seed
+		// needed: any ball containing an incident edge, or the node's
+		// label, contains the node.
+		for _, w := range b.out[m.Node] {
+			if w == m.Node {
+				continue
+			}
+			b.ownIn(w)
+			b.in[w], _ = removeSorted(b.in[w], m.Node)
+		}
+		b.numEdges -= len(b.out[m.Node])
+		b.out[m.Node] = nil // replaces the pointer; shared slices stay intact
+		b.touchedOut[m.Node] = true
+		for _, w := range b.in[m.Node] {
+			if w == m.Node {
+				continue // the self-loop was already counted once above
+			}
+			b.ownOut(w)
+			b.out[w], _ = removeSorted(b.out[w], m.Node)
+			b.numEdges--
+		}
+		b.in[m.Node] = nil
+		b.touchedIn[m.Node] = true
+		// Re-label in place: this mutates a shared element, so the whole
+		// label slice goes copy-on-write once per batch.
+		if !b.nodeLblCopied {
+			b.nodeLbl = append([]int32(nil), b.nodeLbl...)
+			b.nodeLblCopied = true
+		}
+		b.nodeLbl[m.Node] = s.tombstone
+		b.ownByLabel(old)
+		b.byLabel[old], _ = removeSorted(b.byLabel[old], m.Node)
+		b.ownByLabel(s.tombstone)
+		b.byLabel[s.tombstone], _ = insertSorted(b.byLabel[s.tombstone], m.Node)
+		b.seed(m.Node)
+		return nil
+
+	default:
+		return fmt.Errorf("live: unknown op %q", m.Op)
+	}
+}
+
+// Apply runs one update batch atomically: either every mutation is applied
+// and a new version is published, or the first invalid mutation's error is
+// returned and the store (and every standing query) is untouched. After
+// publishing, every standing query is re-maintained by re-evaluating its
+// dirty centers against the new version; Apply returns when all standing
+// results are current.
+//
+// Mutations are applied in order, so edge mutations may reference nodes an
+// earlier add_node in the same batch created. An empty batch is an error.
+func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
+	if len(muts) == 0 {
+		return nil, fmt.Errorf("live: empty update batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	oldOut, oldIn := s.out, s.in
+
+	b := s.newBatch()
+	for i, m := range muts {
+		if err := s.applyOne(b, m); err != nil {
+			// Discarding b reverts all graph state; labels interned by the
+			// failed batch stay in the master table, which is harmless
+			// (identifiers are append-only and unused until referenced).
+			return nil, fmt.Errorf("live: batch[%d]: %w", i, err)
+		}
+	}
+
+	// Commit the working state and publish the new version.
+	s.nodeLbl = b.nodeLbl
+	s.out = b.out
+	s.in = b.in
+	s.byLabel = b.byLabel
+	s.numEdges = b.numEdges
+	ver := s.publishLocked()
+
+	// Maintain standing queries against the new version.
+	s.qmu.RLock()
+	standing := make([]*StandingQuery, 0, len(s.queries))
+	for _, sq := range s.queries {
+		standing = append(standing, sq)
+	}
+	s.qmu.RUnlock()
+
+	res := &UpdateResult{
+		Version:    ver.id,
+		AddedNodes: b.added,
+		Recomputed: make(map[int64]int, len(standing)),
+		Nodes:      len(s.nodeLbl),
+		Edges:      s.numEdges,
+	}
+	// A query unregistered concurrently may still be maintained once here;
+	// harmless, since nothing reads it afterwards. The dirty-center BFS
+	// depends only on the radius, so queries sharing a pattern diameter
+	// (the common case) share one traversal.
+	dirtyByRadius := make(map[int][]int32)
+	for _, sq := range standing {
+		dirty, ok := dirtyByRadius[sq.radius]
+		if !ok {
+			dirty = s.dirtyCenters(b.seeds, sq.radius, oldOut, oldIn)
+			dirtyByRadius[sq.radius] = dirty
+		}
+		res.Recomputed[sq.id] = s.maintainLocked(sq, ver, dirty)
+	}
+	return res, nil
+}
+
+func (s *Store) isTombstone(lbl int32) bool { return s.tombstone >= 0 && lbl == s.tombstone }
+
+// publishLocked freezes the current mutable state as an immutable version
+// and swaps it in. Callers hold mu.
+func (s *Store) publishLocked() *Version {
+	if s.labelsDirty || s.frozen == nil {
+		s.frozen = s.labels.Clone()
+		s.labelsDirty = false
+	}
+	prev := s.current.Load()
+	name := s.name
+	if name == "" {
+		name = "live"
+	}
+	g := graph.FromParts(s.frozen, s.nodeLbl, s.out, s.in, s.byLabel,
+		s.numEdges, fmt.Sprintf("%s@v%d", name, prev.id+1))
+	ver := &Version{id: prev.id + 1, eng: engine.New(g, engine.Config{Workers: s.workers})}
+	s.current.Store(ver)
+	return ver
+}
+
+// dirtyCenters returns, ascending, the centers within radius undirected
+// hops of any seed under the pre-batch or post-batch adjacency.
+func (s *Store) dirtyCenters(seeds []int32, radius int, oldOut, oldIn [][]int32) []int32 {
+	dirty := make(map[int32]bool)
+	oldN := int32(len(oldOut))
+	oldNeighbors := func(v int32, visit func(int32)) {
+		if v >= oldN {
+			return // node added by this batch: absent from the old graph
+		}
+		for _, w := range oldOut[v] {
+			visit(w)
+		}
+		for _, w := range oldIn[v] {
+			visit(w)
+		}
+	}
+	newNeighbors := func(v int32, visit func(int32)) {
+		for _, w := range s.out[v] {
+			visit(w)
+		}
+		for _, w := range s.in[v] {
+			visit(w)
+		}
+	}
+	for _, seed := range seeds {
+		if seed < oldN {
+			incremental.DirtyWithin(seed, radius, oldNeighbors, dirty)
+		}
+		incremental.DirtyWithin(seed, radius, newNeighbors, dirty)
+	}
+	out := make([]int32, 0, len(dirty))
+	for v := range dirty {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

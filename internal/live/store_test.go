@@ -1,0 +1,390 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// mustJSON renders a subgraph list canonically for byte-identity checks.
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// checkAgainstScratch asserts a standing query's result set is byte-
+// identical to engine.Match re-run from scratch on the store's current
+// version, and that the query is maintained at exactly that version.
+func checkAgainstScratch(t testing.TB, s *Store, sq *StandingQuery) {
+	t.Helper()
+	ver := s.Current()
+	got, at := sq.Result()
+	if at != ver.ID() {
+		t.Fatalf("standing query at version %d, store at %d", at, ver.ID())
+	}
+	want, err := ver.Engine().Match(context.Background(), sq.Pattern(), engine.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, wantJSON := mustJSON(t, got.Subgraphs), mustJSON(t, want.Subgraphs)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("standing result diverges from scratch Match at v%d:\n got: %s\nwant: %s", at, gotJSON, wantJSON)
+	}
+}
+
+func edgePattern(t testing.TB, s *Store) *StandingQuery {
+	t.Helper()
+	sq, err := s.Register("node a A\nnode b B\nedge a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sq
+}
+
+// chain builds A -> B -> C ... cycling over the given labels.
+func chain(labels []string, n int) *graph.Graph {
+	b := graph.NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[i%len(labels)])
+	}
+	for i := 0; i+1 < n; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	g := chain([]string{"A", "B", "C"}, 6) // A->B->C->A->B->C
+	s := NewStore(g, Config{Workers: 2})
+	if s.Current().ID() != 0 {
+		t.Fatalf("initial version = %d", s.Current().ID())
+	}
+	sq := edgePattern(t, s)
+	res, _ := sq.Result()
+	if res.Len() != 2 {
+		t.Fatalf("A->B occurs twice in the chain, got %d", res.Len())
+	}
+	checkAgainstScratch(t, s, sq)
+
+	// Delete one A->B edge: one match disappears.
+	out, err := s.Apply([]Mutation{{Op: OpDeleteEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 1 || s.Current().ID() != 1 {
+		t.Fatalf("version = %d / %d, want 1", out.Version, s.Current().ID())
+	}
+	res, _ = sq.Result()
+	if res.Len() != 1 {
+		t.Fatalf("after delete: %d matches, want 1", res.Len())
+	}
+	checkAgainstScratch(t, s, sq)
+	added, removed, from, to := sq.Delta()
+	if from != 0 || to != 1 || len(added) != 0 || len(removed) != 1 {
+		t.Fatalf("delta = +%d -%d (%d->%d), want +0 -1 (0->1)", len(added), len(removed), from, to)
+	}
+
+	// Add a fresh A node wired to an existing B: a new match appears.
+	out, err = s.Apply([]Mutation{
+		{Op: OpAddNode, Label: "A"},
+		{Op: OpInsertEdge, U: 6, V: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.AddedNodes) != 1 || out.AddedNodes[0] != 6 {
+		t.Fatalf("added nodes = %v, want [6]", out.AddedNodes)
+	}
+	res, _ = sq.Result()
+	if res.Len() != 2 {
+		t.Fatalf("after re-wire: %d matches, want 2", res.Len())
+	}
+	checkAgainstScratch(t, s, sq)
+
+	// Old versions stay queryable: version 0's graph still has 6 nodes.
+	if n := s.Current().Graph().NumNodes(); n != 7 {
+		t.Fatalf("current graph has %d nodes, want 7", n)
+	}
+}
+
+func TestStoreVersionsAreImmutable(t *testing.T) {
+	g := chain([]string{"A", "B"}, 4)
+	s := NewStore(g, Config{})
+	v0 := s.Current()
+	edges0 := mustJSON(t, v0.Graph().EdgeList())
+
+	if _, err := s.Apply([]Mutation{
+		{Op: OpDeleteEdge, U: 0, V: 1},
+		{Op: OpAddNode, Label: "B"},
+		{Op: OpInsertEdge, U: 2, V: 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-update version is untouched by the mutation.
+	if got := mustJSON(t, v0.Graph().EdgeList()); string(got) != string(edges0) {
+		t.Fatalf("version 0 mutated:\n was %s\n now %s", edges0, got)
+	}
+	if v0.Graph().NumNodes() != 4 {
+		t.Fatalf("version 0 grew to %d nodes", v0.Graph().NumNodes())
+	}
+	// And still answers queries.
+	q, err := v0.Engine().Snapshot().ParsePattern("node a A\nnode b B\nedge a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v0.Engine().Match(context.Background(), q, engine.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("version 0 match count = %d, want 2", res.Len())
+	}
+}
+
+func TestStoreBatchAtomicity(t *testing.T) {
+	g := chain([]string{"A", "B"}, 4)
+	s := NewStore(g, Config{})
+	sq := edgePattern(t, s)
+	before, _ := sq.Result()
+	beforeJSON := mustJSON(t, before.Subgraphs)
+
+	// The batch's first mutations are valid; the last is not. Nothing may
+	// be applied.
+	_, err := s.Apply([]Mutation{
+		{Op: OpDeleteEdge, U: 0, V: 1},
+		{Op: OpAddNode, Label: "C"},
+		{Op: OpInsertEdge, U: 99, V: 0},
+	})
+	if err == nil {
+		t.Fatal("invalid batch should be rejected")
+	}
+	if s.Current().ID() != 0 {
+		t.Fatalf("failed batch bumped version to %d", s.Current().ID())
+	}
+	if s.Current().Graph().NumNodes() != 4 || !s.Current().Graph().HasEdge(0, 1) {
+		t.Fatal("failed batch mutated the graph")
+	}
+	after, _ := sq.Result()
+	if got := mustJSON(t, after.Subgraphs); string(got) != string(beforeJSON) {
+		t.Fatal("failed batch changed a standing result")
+	}
+	checkAgainstScratch(t, s, sq)
+}
+
+func TestStoreRejectsBadMutations(t *testing.T) {
+	g := chain([]string{"A", "B"}, 4)
+	s := NewStore(g, Config{})
+	cases := []struct {
+		name string
+		muts []Mutation
+	}{
+		{"empty batch", nil},
+		{"unknown op", []Mutation{{Op: "rename"}}},
+		{"unlabeled node", []Mutation{{Op: OpAddNode}}},
+		{"reserved label", []Mutation{{Op: OpAddNode, Label: TombstoneLabel}}},
+		{"insert out of range", []Mutation{{Op: OpInsertEdge, U: 0, V: 9}}},
+		{"insert negative", []Mutation{{Op: OpInsertEdge, U: -1, V: 0}}},
+		{"delete absent edge", []Mutation{{Op: OpDeleteEdge, U: 1, V: 0}}},
+		{"delete out of range", []Mutation{{Op: OpDeleteEdge, U: 0, V: 9}}},
+		{"delete unknown node", []Mutation{{Op: OpDeleteNode, Node: 9}}},
+		{"double node delete", []Mutation{{Op: OpDeleteNode, Node: 0}, {Op: OpDeleteNode, Node: 0}}},
+		{"edge to deleted node", []Mutation{{Op: OpDeleteNode, Node: 0}, {Op: OpInsertEdge, U: 1, V: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Apply(tc.muts); err == nil {
+				t.Fatalf("batch %v should be rejected", tc.muts)
+			}
+			if s.Current().ID() != 0 {
+				t.Fatalf("rejected batch published version %d", s.Current().ID())
+			}
+		})
+	}
+}
+
+func TestStoreDeleteNode(t *testing.T) {
+	// B1 <- A0 -> B2, plus a self-loop on A0.
+	b := graph.NewBuilder(nil)
+	a := b.AddNode("A")
+	b1 := b.AddNode("B")
+	b2 := b.AddNode("B")
+	_ = b.AddEdge(a, b1)
+	_ = b.AddEdge(a, b2)
+	_ = b.AddEdge(b1, a)
+	_ = b.AddEdge(a, a)
+	s := NewStore(b.Build(), Config{})
+	sq := edgePattern(t, s)
+	// Three balls, three distinct perfect subgraphs: {A0,B1,B2} from the
+	// center-A0 ball, {A0,B1} and {A0,B2} from the B-centered balls.
+	if res, _ := sq.Result(); res.Len() != 3 {
+		t.Fatalf("want 3 matches before deletion, got %d", res.Len())
+	}
+
+	out, err := s.Apply([]Mutation{{Op: OpDeleteNode, Node: int32(a)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.Current().Graph()
+	if g.NumEdges() != 0 {
+		t.Fatalf("deleting the hub should drop all %d edges, %d remain", 4, g.NumEdges())
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("node ids are stable; got %d nodes", g.NumNodes())
+	}
+	if res, _ := sq.Result(); res.Len() != 0 {
+		t.Fatal("deleted hub should clear every match")
+	}
+	checkAgainstScratch(t, s, sq)
+	if out.Nodes != 3 || out.Edges != 0 {
+		t.Fatalf("update result reports %d nodes / %d edges", out.Nodes, out.Edges)
+	}
+
+	// A tombstoned node never matches again, even by label.
+	if got := g.NodesWithLabelName("A"); len(got) != 0 {
+		t.Fatalf("label index still lists deleted node: %v", got)
+	}
+}
+
+func TestStoreRegisterUnknownLabelThenAppears(t *testing.T) {
+	// Register a pattern whose label the store has never seen, then add
+	// matching nodes: the standing query must pick them up (id-collision
+	// regression test for master-table interning).
+	g := chain([]string{"A"}, 2)
+	s := NewStore(g, Config{})
+	sq, err := s.Register("node x X\nnode y Y\nedge x y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sq.Result(); res.Len() != 0 {
+		t.Fatal("no X/Y nodes yet")
+	}
+	// A different novel label first, so identifiers would collide if
+	// registration had used a private clone.
+	if _, err := s.Apply([]Mutation{{Op: OpAddNode, Label: "Q"}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Apply([]Mutation{
+		{Op: OpAddNode, Label: "X"},
+		{Op: OpAddNode, Label: "Y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply([]Mutation{{Op: OpInsertEdge, U: out.AddedNodes[0], V: out.AddedNodes[1]}}); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sq.Result(); res.Len() != 1 {
+		t.Fatalf("X->Y should now match once, got %d", res.Len())
+	}
+	checkAgainstScratch(t, s, sq)
+	// And a pattern with label Q registered now sees the Q node.
+	sq2, err := s.Register("node q Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sq2.Result(); res.Len() != 1 {
+		t.Fatalf("single-node Q pattern should match the Q node, got %d", res.Len())
+	}
+}
+
+// TestTombstoneLabelUnreachable pins the deletion model: no pattern that
+// parses can carry the tombstone label, so deleted nodes are invisible to
+// standing queries and one-shot matches alike.
+func TestTombstoneLabelUnreachable(t *testing.T) {
+	if !strings.ContainsAny(TombstoneLabel, " \t\n") {
+		t.Fatal("TombstoneLabel must contain whitespace: text-format labels are whitespace-delimited tokens")
+	}
+	s := NewStore(chain([]string{"A", "B"}, 4), Config{})
+	if _, err := s.Apply([]Mutation{{Op: OpDeleteNode, Node: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Even quoting the label verbatim cannot produce a pattern node with
+	// it: the line splits into too many fields.
+	if _, err := s.Register("node a " + TombstoneLabel); err == nil {
+		t.Fatal("pattern carrying the tombstone label must not register")
+	}
+	if _, err := s.Current().Engine().Snapshot().ParsePattern("node a " + TombstoneLabel); err == nil {
+		t.Fatal("one-shot pattern carrying the tombstone label must not parse")
+	}
+}
+
+func TestStoreRegisterRejectsBadPatterns(t *testing.T) {
+	s := NewStore(chain([]string{"A"}, 2), Config{})
+	for _, src := range []string{
+		"",                    // empty
+		"node a A\nnode b B",  // disconnected
+		"bogus line here too", // unparseable
+	} {
+		if _, err := s.Register(src); err == nil {
+			t.Fatalf("pattern %q should be rejected", src)
+		}
+	}
+	if s.NumQueries() != 0 {
+		t.Fatal("rejected registrations must not be retained")
+	}
+}
+
+func TestStoreUnregister(t *testing.T) {
+	s := NewStore(chain([]string{"A", "B"}, 4), Config{})
+	sq := edgePattern(t, s)
+	if !s.Unregister(sq.ID()) {
+		t.Fatal("unregister known id")
+	}
+	if s.Unregister(sq.ID()) {
+		t.Fatal("double unregister should report false")
+	}
+	// Updates after unregistration do not maintain the dropped query.
+	out, err := s.Apply([]Mutation{{Op: OpDeleteEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recomputed) != 0 {
+		t.Fatalf("recomputed %v for zero registered queries", out.Recomputed)
+	}
+}
+
+// TestStoreLocality pins the ball-locality bound: an edge mutation at one
+// end of a long chain must not re-evaluate balls at the other end.
+func TestStoreLocality(t *testing.T) {
+	labels := []string{"X"}
+	g := chain(labels, 80)
+	s := NewStore(g, Config{})
+	sq, err := s.Register("node a A\nnode b B\nedge a b") // radius 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Apply([]Mutation{{Op: OpDeleteEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty centers: within 1 hop of nodes 0 or 1 = {0, 1, 2}; none carry
+	// a pattern label, so zero balls are evaluated.
+	if out.Recomputed[sq.ID()] != 0 {
+		t.Fatalf("recomputed %d balls, want 0 (label precheck)", out.Recomputed[sq.ID()])
+	}
+	sq2, err := s.Register("node a X\nnode b X\nedge a b") // radius 1, labels match
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = s.Apply([]Mutation{{Op: OpInsertEdge, U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := out.Recomputed[sq2.ID()]; n == 0 || n > 4 {
+		t.Fatalf("recomputed %d balls; locality bound is ≈3 for radius 1", n)
+	}
+	checkAgainstScratch(t, s, sq2)
+	var res *core.Result
+	if res, _ = sq2.Result(); res.Len() == 0 {
+		t.Fatal("X->X chain edges should match")
+	}
+}
