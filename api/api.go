@@ -1,0 +1,25 @@
+// Package api is the versioned wire protocol of the strong-simulation
+// serving stack: the JSON types every endpoint speaks, the structured
+// pattern schema (PatternJSON), the unified query options (QuerySpec), the
+// machine-readable error envelope (Error), and the HTTP handlers serving
+// them under /v1.
+//
+// The package replaces the divergent muxes internal/engine and internal/live
+// used to expose — one route tree now serves both deployment shapes:
+//
+//	NewServer(engine, cfg)      read-only deployment over one prepared engine
+//	NewLiveServer(store, cfg)   mutable deployment over a live store
+//
+// Both mount the same /v1 endpoints (match, match/stream, graph, healthz;
+// the live variant adds update and queries) plus the pre-/v1 unversioned
+// routes as thin deprecated aliases that answer identically and emit a
+// Deprecation header. See API.md at the repository root for the endpoint
+// reference, and package client for the typed Go SDK.
+package api
+
+// Version is the current wire-protocol version; every versioned route is
+// mounted under "/" + Version.
+const Version = "v1"
+
+// Prefix is the path prefix of the versioned route tree.
+const Prefix = "/" + Version

@@ -1,0 +1,112 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// The pre-/v1 unversioned routes. Each is a thin alias of its /v1
+// successor — same handler, same bytes — wrapped to emit a Deprecation
+// header and a Link to the versioned route. They exist so clients written
+// against the original engine/live servers keep working; new code should
+// target /v1 (package client does).
+
+// LegacyMatchRequest is the JSON body the unversioned POST /match accepted:
+// a text pattern and flattened options. The alias lowers it to a
+// MatchRequest, so both routes run the same code path.
+type LegacyMatchRequest struct {
+	Pattern   string `json:"pattern"`
+	Mode      string `json:"mode,omitempty"`
+	Radius    int    `json:"radius,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+	TopK      int    `json:"top_k,omitempty"`
+	Metric    string `json:"metric,omitempty"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// ToMatchRequest lifts the legacy shape into the /v1 request. The
+// original servers passed negative numeric options straight to the
+// engine, where they mean "unset"; /v1 rejects them as invalid_query, so
+// the lift clamps to zero to keep old clients working unchanged.
+func (lr LegacyMatchRequest) ToMatchRequest() MatchRequest {
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return MatchRequest{
+		PatternText: lr.Pattern,
+		Query: QuerySpec{
+			Mode:       lr.Mode,
+			Radius:     clamp(lr.Radius),
+			Limit:      clamp(lr.Limit),
+			TopK:       clamp(lr.TopK),
+			Metric:     lr.Metric,
+			DeadlineMS: clamp(lr.TimeoutMS),
+		},
+	}
+}
+
+// LegacyRegisterRequest is the JSON body the unversioned POST /queries
+// accepted: the pattern as a text blob.
+type LegacyRegisterRequest struct {
+	Pattern string `json:"pattern"`
+}
+
+// legacyRoutes mounts the unversioned aliases next to the /v1 tree.
+func (s *server) legacyRoutes(rt *router) {
+	alias := func(method, path, successor string, h http.HandlerFunc) {
+		rt.handle(method, path, deprecated(successor, h))
+	}
+	alias("GET", "/healthz", Prefix+"/healthz", s.handleHealth)
+	alias("GET", "/graph", Prefix+"/graph", s.handleGraph)
+	alias("POST", "/match", Prefix+"/match", s.handleLegacyMatch)
+	if s.store == nil {
+		return
+	}
+	alias("POST", "/update", Prefix+"/update", s.handleUpdate)
+	alias("POST", "/queries", Prefix+"/queries", s.handleLegacyRegister)
+	alias("GET", "/queries", Prefix+"/queries", s.handleListQueries)
+	alias("GET", "/queries/{id}", Prefix+"/queries/{id}", s.handleGetQuery)
+	alias("DELETE", "/queries/{id}", Prefix+"/queries/{id}", s.handleUnregister)
+	alias("GET", "/queries/{id}/delta", Prefix+"/queries/{id}/delta", s.handleDelta)
+}
+
+// deprecated wraps a handler to advertise the versioned successor route
+// (RFC 9745 Deprecation header plus a successor-version link).
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+func (s *server) handleLegacyMatch(w http.ResponseWriter, r *http.Request) {
+	var lr LegacyMatchRequest
+	if aerr := s.decode(w, r, &lr, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	req := lr.ToMatchRequest()
+	s.serveMatch(w, r, &req)
+}
+
+func (s *server) handleLegacyRegister(w http.ResponseWriter, r *http.Request) {
+	var lr LegacyRegisterRequest
+	if aerr := s.decode(w, r, &lr, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if lr.Pattern == "" {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidRequest, "missing pattern"))
+		return
+	}
+	sq, err := s.store.Register(lr.Pattern)
+	if err != nil {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidPattern, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, queryJSON(sq, false))
+}

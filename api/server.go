@@ -1,0 +1,375 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/live"
+)
+
+// Config tunes the HTTP front end. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	// DefaultTimeout is the per-request deadline applied when a request
+	// does not ask for one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a request may ask for (default 60s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body (default 8 MiB); larger bodies
+	// answer 413 body_too_large.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// NewServer serves the /v1 protocol over one prepared engine — the
+// read-only deployment shape. See the package comment for the route tree.
+func NewServer(e *engine.Engine, cfg Config) http.Handler {
+	return NewDynamicServer(func() *engine.Engine { return e }, cfg)
+}
+
+// NewDynamicServer is NewServer over an engine *provider*: each request
+// resolves the engine once, up front, and is served entirely against that
+// engine. A mutable deployment hands in its latest-version lookup so
+// one-shot queries always answer against the newest published snapshot
+// while in-flight requests keep the consistent view they started with. The
+// provider must be safe for concurrent use and must never return nil.
+func NewDynamicServer(provider func() *engine.Engine, cfg Config) http.Handler {
+	s := &server{engine: provider, cfg: cfg.withDefaults()}
+	return s.routes()
+}
+
+// NewLiveServer serves the full /v1 protocol over a mutable live store:
+// the read-only endpoints (answered against the latest published version)
+// plus /v1/update and the /v1/queries standing-query tree.
+func NewLiveServer(st *live.Store, cfg Config) http.Handler {
+	s := &server{engine: st.Engine, store: st, cfg: cfg.withDefaults()}
+	return s.routes()
+}
+
+type server struct {
+	engine func() *engine.Engine
+	store  *live.Store // nil on read-only deployments
+	cfg    Config
+}
+
+// routes builds the unified route tree: the /v1 endpoints plus the
+// unversioned legacy aliases (see legacy.go).
+func (s *server) routes() http.Handler {
+	rt := newRouter()
+	rt.handle("GET", Prefix+"/healthz", s.handleHealth)
+	rt.handle("GET", Prefix+"/graph", s.handleGraph)
+	rt.handle("POST", Prefix+"/match", s.handleMatch)
+	rt.handle("POST", Prefix+"/match/stream", s.handleMatchStream)
+	if s.store != nil {
+		rt.handle("POST", Prefix+"/update", s.handleUpdate)
+		rt.handle("POST", Prefix+"/queries", s.handleRegister)
+		rt.handle("GET", Prefix+"/queries", s.handleListQueries)
+		rt.handle("GET", Prefix+"/queries/{id}", s.handleGetQuery)
+		rt.handle("DELETE", Prefix+"/queries/{id}", s.handleUnregister)
+		rt.handle("GET", Prefix+"/queries/{id}/delta", s.handleDelta)
+	}
+	s.legacyRoutes(rt)
+	return rt.build()
+}
+
+// router groups handlers per path so every route answers wrong methods
+// with a structured 405 naming the allowed set, and unknown paths answer a
+// structured 404 — the Go 1.22 "METHOD /path" mux patterns do the method
+// dispatch.
+type router struct {
+	mux    *http.ServeMux
+	byPath map[string][]string // path -> methods registered
+	order  []string
+}
+
+func newRouter() *router {
+	return &router{mux: http.NewServeMux(), byPath: make(map[string][]string)}
+}
+
+func (rt *router) handle(method, path string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(method+" "+path, h)
+	if _, seen := rt.byPath[path]; !seen {
+		rt.order = append(rt.order, path)
+	}
+	rt.byPath[path] = append(rt.byPath[path], method)
+}
+
+func (rt *router) build() http.Handler {
+	for _, path := range rt.order {
+		methods := rt.byPath[path]
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		rt.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeError(w, Errorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"%s does not allow %s (allowed: %s)", path, r.Method, allow))
+		})
+	}
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, Errorf(http.StatusNotFound, CodeNotFound, "no route %s", r.URL.Path))
+	})
+	return rt.mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	writeJSON(w, e.Status, e)
+}
+
+// decode reads the request body as JSON under the server's byte cap.
+// strict additionally rejects unknown fields (the update endpoint, where a
+// misspelled field must not silently change meaning).
+func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any, strict bool) *Error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return Errorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
+		return Errorf(http.StatusBadRequest, CodeInvalidRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+// timeout resolves a request's deadline from its deadline_ms, clamped to
+// the server's maximum.
+func (s *server) timeout(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// resolvePattern produces the pattern graph of a match request, parsed
+// label-compatibly with the resolved engine's snapshot.
+func resolvePattern(e *engine.Engine, req *MatchRequest) (*graph.Graph, *Error) {
+	switch {
+	case req.Pattern != nil && req.PatternText != "":
+		return nil, Errorf(http.StatusBadRequest, CodeInvalidRequest,
+			`"pattern" and "pattern_text" are mutually exclusive`)
+	case req.Pattern != nil:
+		q, err := req.Pattern.ToGraph(e.Snapshot().Graph().Labels().Clone())
+		if err != nil {
+			return nil, patternError(err)
+		}
+		return q, nil
+	case req.PatternText != "":
+		q, err := e.Snapshot().ParsePattern(req.PatternText)
+		if err != nil {
+			return nil, Errorf(http.StatusBadRequest, CodeInvalidPattern, "parsing pattern: %v", err)
+		}
+		return q, nil
+	default:
+		return nil, Errorf(http.StatusBadRequest, CodeInvalidRequest, "missing pattern")
+	}
+}
+
+// patternError maps a PatternJSON conversion failure to its wire error.
+func patternError(err error) *Error {
+	code := CodeInvalidPattern
+	if errors.Is(err, ErrBoundedEdge) {
+		code = CodeUnsupportedBound
+	}
+	return Errorf(http.StatusBadRequest, code, "invalid pattern: %v", err)
+}
+
+// matchError maps an engine failure to its wire error.
+func matchError(err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Errorf(http.StatusGatewayTimeout, CodeDeadlineExceeded, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is moot but 499-style closure
+		// keeps logs honest.
+		return Errorf(http.StatusRequestTimeout, CodeCancelled, "request cancelled")
+	default:
+		// The engine rejects patterns (empty, disconnected) after parsing.
+		return Errorf(http.StatusBadRequest, CodeInvalidPattern, "%v", err)
+	}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := HealthJSON{Status: "ok"}
+	var g *graph.Graph
+	if s.store != nil {
+		ver := s.store.Current()
+		g = ver.Graph()
+		h.Version = ver.ID()
+		h.Queries = s.store.NumQueries()
+	} else {
+		g = s.engine().Snapshot().Graph()
+	}
+	h.Nodes = g.NumNodes()
+	h.Edges = g.NumEdges()
+	h.Labels = g.Labels().Len()
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	e := s.engine()
+	snap := e.Snapshot()
+	g := snap.Graph()
+	writeJSON(w, http.StatusOK, GraphInfoJSON{
+		Name:          g.Name(),
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Labels:        g.Labels().Len(),
+		Workers:       e.Workers(),
+		PreparedRadii: snap.PreparedRadii(),
+	})
+}
+
+func (s *server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if aerr := s.decode(w, r, &req, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	s.serveMatch(w, r, &req)
+}
+
+// serveMatch answers a resolved match request; the legacy /match alias
+// funnels through here too, so both routes answer byte-identically.
+func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRequest) {
+	e := s.engine() // one resolution: the whole request sees one version
+	q, aerr := resolvePattern(e, req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	opts, metric, err := req.Query.Compile()
+	if err != nil {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidQuery, "%v", err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
+	defer cancel()
+
+	start := time.Now()
+	var resp MatchResponse
+	if req.Query.TopK > 0 {
+		ranked, stats, err := e.MatchTopK(ctx, q, req.Query.TopK, metric, opts)
+		if err != nil {
+			writeError(w, matchError(err))
+			return
+		}
+		resp.Stats = FromStats(stats)
+		resp.Matches = make([]SubgraphJSON, 0, len(ranked))
+		for _, rk := range ranked {
+			sj := FromSubgraph(rk.PerfectSubgraph)
+			score := rk.Score
+			sj.Score = &score
+			resp.Matches = append(resp.Matches, sj)
+		}
+	} else {
+		res, err := e.Match(ctx, q, opts)
+		if err != nil {
+			writeError(w, matchError(err))
+			return
+		}
+		resp.Stats = FromStats(res.Stats)
+		resp.Matches = FromSubgraphs(res.Subgraphs)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if aerr := s.decode(w, r, &req, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	e := s.engine()
+	q, aerr := resolvePattern(e, &req)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if req.Query.TopK != 0 {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidQuery,
+			"top_k is not supported on %s/match/stream: ranking needs the full result set", Prefix))
+		return
+	}
+	opts, _, err := req.Query.Compile()
+	if err != nil {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidQuery, "%v", err))
+		return
+	}
+	// Validate connectivity before committing the 200: engine.Stream only
+	// reports pattern errors through Wait, after headers are long gone.
+	if _, connected := graph.Diameter(q); !connected {
+		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidPattern,
+			"pattern graph must be connected (Section 2.1)"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	start := time.Now()
+	st := e.Stream(ctx, q, opts)
+	count := 0
+	for ps := range st.C {
+		sj := FromSubgraph(ps)
+		if err := enc.Encode(StreamEventJSON{Match: &sj}); err != nil {
+			cancel() // writer gone: stop the query, drain via Wait
+			break
+		}
+		count++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	stats, err := st.Wait()
+	done := StreamDoneJSON{
+		Matches:   count,
+		Stats:     FromStats(stats),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if err != nil {
+		aerr := matchError(err)
+		done.Code, done.Error = aerr.Code, aerr.Message
+	}
+	_ = enc.Encode(StreamEventJSON{Done: &done})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,563 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/graph"
+)
+
+func newTestServer(t *testing.T, g *graph.Graph, cfg Config) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	e := engine.New(g, engine.Config{Workers: 4})
+	ts := httptest.NewServer(NewServer(e, cfg))
+	t.Cleanup(ts.Close)
+	return ts, e
+}
+
+// post sends one JSON request and returns the response and its body.
+func post(t *testing.T, url string, req any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestV1Match(t *testing.T) {
+	g := generator.Synthetic(400, 1.2, 10, 73)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 74})
+	ts, e := newTestServer(t, g, Config{})
+
+	want, err := e.Match(context.Background(), q, engine.PlusQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/match", MatchRequest{
+		PatternText: graph.FormatString(q),
+		Query:       QuerySpec{Mode: ModePlus},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("Deprecation"); h != "" {
+		t.Errorf("/v1/match answered with Deprecation header %q", h)
+	}
+	var mr MatchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) != want.Len() {
+		t.Fatalf("server returned %d matches, engine %d", len(mr.Matches), want.Len())
+	}
+	for i, m := range mr.Matches {
+		if m.Center != want.Subgraphs[i].Center || len(m.Nodes) != len(want.Subgraphs[i].Nodes) {
+			t.Errorf("match %d diverges from direct engine result", i)
+		}
+		if len(m.Rel) != q.NumNodes() {
+			t.Errorf("match %d: rel has %d pattern nodes, want %d", i, len(m.Rel), q.NumNodes())
+		}
+	}
+	if mr.Stats.BallsExamined != want.Stats.BallsExamined {
+		t.Errorf("stats diverge: %+v vs %+v", mr.Stats, want.Stats)
+	}
+
+	// The structured pattern answers the same result: FromGraph keeps node
+	// order, so even the rel keys line up.
+	resp, body2 := post(t, ts.URL+"/v1/match", MatchRequest{
+		Pattern: FromGraph(q),
+		Query:   QuerySpec{Mode: ModePlus},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("structured pattern: status %d: %s", resp.StatusCode, body2)
+	}
+	if !bytes.Equal(resultBytes(t, body), resultBytes(t, body2)) {
+		t.Error("structured pattern and pattern_text answered different results")
+	}
+}
+
+// resultBytes strips the timing field, leaving the deterministic result
+// portion (matches + stats) of a match response body.
+func resultBytes(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var r struct {
+		Matches json.RawMessage `json:"matches"`
+		Stats   json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("unmarshaling result: %v (%s)", err, body)
+	}
+	return append(append([]byte{}, r.Matches...), r.Stats...)
+}
+
+// TestGoldenLegacyParity proves the legacy /match alias and /v1/match
+// answer byte-identical results for the same pattern and options, across
+// plain, plus and ranked queries — and that only the legacy route carries
+// the Deprecation header.
+func TestGoldenLegacyParity(t *testing.T) {
+	g := generator.Synthetic(500, 1.2, 12, 41)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 42})
+	ts, _ := newTestServer(t, g, Config{})
+	pattern := graph.FormatString(q)
+
+	cases := []struct {
+		name   string
+		legacy LegacyMatchRequest
+		v1     MatchRequest
+	}{
+		{
+			"plain",
+			LegacyMatchRequest{Pattern: pattern},
+			MatchRequest{PatternText: pattern},
+		},
+		{
+			"plus",
+			LegacyMatchRequest{Pattern: pattern, Mode: "match+"},
+			MatchRequest{PatternText: pattern, Query: QuerySpec{Mode: ModePlus}},
+		},
+		{
+			"limited with radius",
+			LegacyMatchRequest{Pattern: pattern, Radius: 2, Limit: 1},
+			MatchRequest{PatternText: pattern, Query: QuerySpec{Radius: 2, Limit: 1}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacyResp, legacyBody := post(t, ts.URL+"/match", tc.legacy)
+			v1Resp, v1Body := post(t, ts.URL+"/v1/match", tc.v1)
+			if legacyResp.StatusCode != http.StatusOK || v1Resp.StatusCode != http.StatusOK {
+				t.Fatalf("status legacy=%d v1=%d (%s / %s)",
+					legacyResp.StatusCode, v1Resp.StatusCode, legacyBody, v1Body)
+			}
+			if tc.name == "limited with radius" {
+				// Which subgraph survives a limit depends on worker
+				// scheduling; only the shape is comparable.
+				var a, b MatchResponse
+				if err := json.Unmarshal(legacyBody, &a); err != nil {
+					t.Fatal(err)
+				}
+				if err := json.Unmarshal(v1Body, &b); err != nil {
+					t.Fatal(err)
+				}
+				if len(a.Matches) != len(b.Matches) {
+					t.Fatalf("limit diverges: legacy %d matches, v1 %d", len(a.Matches), len(b.Matches))
+				}
+				return
+			}
+			if !bytes.Equal(resultBytes(t, legacyBody), resultBytes(t, v1Body)) {
+				t.Errorf("legacy /match and /v1/match answered different bytes:\nlegacy: %s\nv1:     %s",
+					legacyBody, v1Body)
+			}
+			if h := legacyResp.Header.Get("Deprecation"); h != "true" {
+				t.Errorf("legacy /match Deprecation header = %q, want \"true\"", h)
+			}
+			if link := legacyResp.Header.Get("Link"); !strings.Contains(link, "/v1/match") {
+				t.Errorf("legacy /match Link header = %q, want successor /v1/match", link)
+			}
+			if h := v1Resp.Header.Get("Deprecation"); h != "" {
+				t.Errorf("/v1/match carries Deprecation header %q", h)
+			}
+		})
+	}
+
+	// Ranked queries go through the streaming dedup, where a duplicated
+	// subgraph keeps whichever center arrived first — nondeterministic
+	// under concurrency (documented engine behavior, identical on both
+	// routes). A single worker makes arrival order center order, so the
+	// ranked answer is deterministic and byte-comparable.
+	t.Run("ranked", func(t *testing.T) {
+		e := engine.New(g, engine.Config{Workers: 1})
+		ts2 := httptest.NewServer(NewServer(e, Config{}))
+		t.Cleanup(ts2.Close)
+
+		legacyResp, legacyBody := post(t, ts2.URL+"/match", LegacyMatchRequest{
+			Pattern: pattern, Mode: "match+", TopK: 2, Metric: "compactness",
+		})
+		v1Resp, v1Body := post(t, ts2.URL+"/v1/match", MatchRequest{
+			PatternText: pattern,
+			Query:       QuerySpec{Mode: ModePlus, TopK: 2, Metric: MetricCompactness},
+		})
+		if legacyResp.StatusCode != http.StatusOK || v1Resp.StatusCode != http.StatusOK {
+			t.Fatalf("status legacy=%d v1=%d", legacyResp.StatusCode, v1Resp.StatusCode)
+		}
+		if !bytes.Equal(resultBytes(t, legacyBody), resultBytes(t, v1Body)) {
+			t.Errorf("ranked: legacy and v1 answered different bytes:\nlegacy: %s\nv1:     %s",
+				legacyBody, v1Body)
+		}
+		var mr MatchResponse
+		if err := json.Unmarshal(v1Body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		if len(mr.Matches) == 0 || len(mr.Matches) > 2 || mr.Matches[0].Score == nil {
+			t.Fatalf("ranked response %s", v1Body)
+		}
+	})
+}
+
+func TestV1TopK(t *testing.T) {
+	g := generator.Synthetic(400, 1.2, 10, 79)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 80})
+	ts, _ := newTestServer(t, g, Config{})
+
+	resp, body := post(t, ts.URL+"/v1/match", MatchRequest{
+		PatternText: graph.FormatString(q),
+		Query:       QuerySpec{TopK: 2, Metric: MetricCompactness},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var mr MatchResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Matches) > 2 {
+		t.Fatalf("top_k=2 returned %d matches", len(mr.Matches))
+	}
+	var prev float64 = 2 // scores are in (0,1]
+	for i, m := range mr.Matches {
+		if m.Score == nil {
+			t.Fatalf("match %d: ranked response missing score", i)
+		}
+		if *m.Score > prev {
+			t.Error("scores not descending")
+		}
+		prev = *m.Score
+	}
+}
+
+func TestV1MatchStream(t *testing.T) {
+	g := generator.Synthetic(400, 1.2, 10, 83)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 84})
+	ts, e := newTestServer(t, g, Config{})
+
+	want, err := e.Match(context.Background(), q, engine.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := json.Marshal(MatchRequest{PatternText: graph.FormatString(q)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/match/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+
+	// Duplicate subgraphs keep whichever center arrived first on the
+	// streaming path, so compare node/edge signatures, not centers.
+	sig := func(m SubgraphJSON) string { return fmt.Sprint(m.Nodes, m.Edges) }
+	streamed := make(map[string]bool)
+	var done *StreamDoneJSON
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEventJSON
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case ev.Match != nil:
+			if done != nil {
+				t.Fatal("match after done trailer")
+			}
+			streamed[sig(*ev.Match)] = true
+		case ev.Done != nil:
+			done = ev.Done
+		default:
+			t.Fatalf("stream line with neither match nor done: %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if done == nil {
+		t.Fatal("stream ended without done trailer")
+	}
+	if done.Code != "" || done.Error != "" {
+		t.Fatalf("stream reported error: %s (%s)", done.Error, done.Code)
+	}
+	if done.Matches != want.Len() || len(streamed) != want.Len() {
+		t.Fatalf("streamed %d distinct matches (trailer says %d), engine found %d",
+			len(streamed), done.Matches, want.Len())
+	}
+	for _, ps := range want.Subgraphs {
+		if !streamed[sig(FromSubgraph(ps))] {
+			t.Errorf("stream missed subgraph centered at %d", ps.Center)
+		}
+	}
+	if done.Stats.BallsExamined != want.Stats.BallsExamined {
+		t.Errorf("stream stats %+v, engine %+v", done.Stats, want.Stats)
+	}
+}
+
+func TestV1Errors(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 83)
+	ts, _ := newTestServer(t, g, Config{})
+
+	bounded := &PatternJSON{
+		Nodes: []PatternNode{{ID: "a", Label: "l0"}, {ID: "b", Label: "l1"}},
+		Edges: []PatternEdge{{U: "a", V: "b", Bound: "3"}},
+	}
+	cases := []struct {
+		name   string
+		path   string
+		req    any
+		status int
+		code   string
+	}{
+		{"missing pattern", "/v1/match", MatchRequest{}, 400, CodeInvalidRequest},
+		{"both pattern forms", "/v1/match", MatchRequest{Pattern: FromGraph(g), PatternText: "edge a b"}, 400, CodeInvalidRequest},
+		{"malformed pattern text", "/v1/match", MatchRequest{PatternText: "bogus directive"}, 400, CodeInvalidPattern},
+		{"disconnected pattern", "/v1/match", MatchRequest{PatternText: "node a l0\nnode b l1\n"}, 400, CodeInvalidPattern},
+		{"invalid structured pattern", "/v1/match", MatchRequest{Pattern: &PatternJSON{Nodes: []PatternNode{{Label: ""}}}}, 400, CodeInvalidPattern},
+		{"bounded edge", "/v1/match", MatchRequest{Pattern: bounded}, 400, CodeUnsupportedBound},
+		{"unknown mode", "/v1/match", MatchRequest{PatternText: "edge a b", Query: QuerySpec{Mode: "nope"}}, 400, CodeInvalidQuery},
+		{"unknown metric", "/v1/match", MatchRequest{PatternText: "edge a b", Query: QuerySpec{TopK: 1, Metric: "nope"}}, 400, CodeInvalidQuery},
+		{"negative limit", "/v1/match", MatchRequest{PatternText: "edge a b", Query: QuerySpec{Limit: -1}}, 400, CodeInvalidQuery},
+		{"top_k on stream", "/v1/match/stream", MatchRequest{PatternText: "edge a b", Query: QuerySpec{TopK: 2}}, 400, CodeInvalidQuery},
+		{"legacy missing pattern", "/match", LegacyMatchRequest{}, 400, CodeInvalidRequest},
+		{"legacy unknown mode", "/match", LegacyMatchRequest{Pattern: "edge a b", Mode: "nope"}, 400, CodeInvalidQuery},
+		{"v1 negative radius", "/v1/match", MatchRequest{PatternText: "edge a b", Query: QuerySpec{Radius: -1}}, 400, CodeInvalidQuery},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+tc.path, tc.req)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var e Error
+			if err := json.Unmarshal(body, &e); err != nil || e.Message == "" {
+				t.Fatalf("error response not structured: %s", body)
+			}
+			if e.Code != tc.code {
+				t.Errorf("code %q, want %q (%s)", e.Code, tc.code, e.Message)
+			}
+		})
+	}
+
+	// Legacy clients could send negative numeric options, which the old
+	// server treated as unset; the alias must keep accepting them even
+	// though /v1 rejects them.
+	resp2, body2 := post(t, ts.URL+"/match", LegacyMatchRequest{Pattern: "edge a b", Radius: -1, Limit: -3, TopK: -2})
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("legacy negative options: status %d, want 200 (%s)", resp2.StatusCode, body2)
+	}
+
+	// Invalid JSON body.
+	resp, err := http.Post(ts.URL+"/v1/match", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || e.Code != CodeInvalidRequest {
+		t.Fatalf("invalid JSON: status %d code %q", resp.StatusCode, e.Code)
+	}
+
+	// Unknown routes answer a structured 404.
+	resp, body := post(t, ts.URL+"/v1/nope", struct{}{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: status %d (%s)", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != CodeNotFound {
+		t.Fatalf("unknown route not structured: %s", body)
+	}
+}
+
+// TestV1BodyTooLarge proves oversized request bodies answer 413 with the
+// body_too_large code instead of a generic 400.
+func TestV1BodyTooLarge(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 87)
+	ts, _ := newTestServer(t, g, Config{MaxBodyBytes: 256})
+
+	big := MatchRequest{PatternText: strings.Repeat("# padding\n", 100) + "edge a b"}
+	resp, body := post(t, ts.URL+"/v1/match", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+	var e Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != CodeBodyTooLarge {
+		t.Fatalf("413 body not structured: %s", body)
+	}
+
+	// The legacy alias maps it identically.
+	resp, body = post(t, ts.URL+"/match", LegacyMatchRequest{Pattern: big.PatternText})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("legacy status %d, want 413 (%s)", resp.StatusCode, body)
+	}
+}
+
+// TestV1MethodRouting proves every route dispatches by method pattern:
+// wrong methods answer a structured 405 with an Allow header, including
+// GET-only /healthz.
+func TestV1MethodRouting(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 89)
+	ts, _ := newTestServer(t, g, Config{})
+
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/v1/match", 405},
+		{"PUT", "/v1/match", 405},
+		{"GET", "/v1/match/stream", 405},
+		{"POST", "/v1/graph", 405},
+		{"POST", "/v1/healthz", 405},
+		{"DELETE", "/v1/healthz", 405},
+		{"POST", "/healthz", 405},
+		{"POST", "/graph", 405},
+		{"GET", "/match", 405},
+		{"GET", "/v1/healthz", 200},
+		{"GET", "/healthz", 200},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			continue
+		}
+		if tc.want == http.StatusMethodNotAllowed {
+			if resp.Header.Get("Allow") == "" {
+				t.Errorf("%s %s: 405 without Allow header", tc.method, tc.path)
+			}
+			var e Error
+			if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Code != CodeMethodNotAllowed {
+				t.Errorf("%s %s: 405 body not structured: %s", tc.method, tc.path, buf.Bytes())
+			}
+		}
+	}
+}
+
+func TestV1Deadline(t *testing.T) {
+	// A graph big enough that a full plain scan cannot finish in 1ms.
+	g := generator.Synthetic(8000, 1.2, 5, 89)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 90})
+	ts, _ := newTestServer(t, g, Config{DefaultTimeout: time.Millisecond})
+
+	resp, body := post(t, ts.URL+"/v1/match", MatchRequest{PatternText: graph.FormatString(q)})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	var e Error
+	if err := json.Unmarshal(body, &e); err != nil || e.Code != CodeDeadlineExceeded {
+		t.Fatalf("504 body not structured: %s", body)
+	}
+}
+
+func TestV1GraphAndHealth(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 10, 97)
+	ts, e := newTestServer(t, g, Config{})
+	e.Snapshot().PrepareBalls(1)
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthJSON
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Nodes != g.NumNodes() || h.Edges != g.NumEdges() {
+		t.Errorf("healthz %+v does not match %v", h, g)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info GraphInfoJSON
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.NumNodes() || info.Edges != g.NumEdges() {
+		t.Errorf("graph info %+v does not match %v", info, g)
+	}
+	if len(info.PreparedRadii) != 1 || info.PreparedRadii[0] != 1 {
+		t.Errorf("prepared radii %v, want [1]", info.PreparedRadii)
+	}
+}
+
+// TestV1ConcurrentRequests floods the handler from many clients — with
+// novel labels in some patterns — to exercise the race-free parse path
+// under real HTTP concurrency, across both pattern forms.
+func TestV1ConcurrentRequests(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 10, 101)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 102})
+	ts, _ := newTestServer(t, g, Config{})
+	requests := []MatchRequest{
+		{PatternText: graph.FormatString(q)},
+		{Pattern: FromGraph(q)},
+		{PatternText: "node a l0\nnode b some-novel-label\nedge a b\n"},
+		{Pattern: &PatternJSON{
+			Nodes: []PatternNode{{ID: "x", Label: "another-novel-label"}, {ID: "y", Label: "l0"}},
+			Edges: []PatternEdge{{U: "x", V: "y"}, {U: "y", V: "x"}},
+		}},
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				req := requests[(c+rep)%len(requests)]
+				body, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

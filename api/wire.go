@@ -1,0 +1,208 @@
+package api
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// MatchRequest is the JSON body of POST /v1/match and /v1/match/stream.
+// Exactly one of Pattern and PatternText must be set.
+type MatchRequest struct {
+	// Pattern is the structured pattern.
+	Pattern *PatternJSON `json:"pattern,omitempty"`
+	// PatternText is the pattern in the text format of internal/graph.
+	PatternText string `json:"pattern_text,omitempty"`
+	// Query holds every option; the zero value is a plain unranked query.
+	Query QuerySpec `json:"query,omitempty"`
+}
+
+// MatchResponse is the JSON body answering POST /v1/match (and the legacy
+// /match alias, byte-identically).
+type MatchResponse struct {
+	Matches   []SubgraphJSON `json:"matches"`
+	Stats     StatsJSON      `json:"stats"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+// SubgraphJSON serializes one perfect subgraph. Rel maps pattern node ids
+// (as decimal strings, matching the node order of the submitted pattern) to
+// their data-node matches inside the subgraph.
+type SubgraphJSON struct {
+	Center int32              `json:"center"`
+	Score  *float64           `json:"score,omitempty"`
+	Nodes  []int32            `json:"nodes"`
+	Edges  [][2]int32         `json:"edges"`
+	Rel    map[string][]int32 `json:"rel"`
+}
+
+// StatsJSON serializes core.Stats.
+type StatsJSON struct {
+	BallsExamined int `json:"balls_examined"`
+	BallsSkipped  int `json:"balls_skipped"`
+	PairsRemoved  int `json:"pairs_removed"`
+	Duplicates    int `json:"duplicates"`
+	MinimizedFrom int `json:"minimized_from,omitempty"`
+}
+
+// StreamEventJSON is one NDJSON line of POST /v1/match/stream: either a
+// match or the final done trailer, never both.
+type StreamEventJSON struct {
+	Match *SubgraphJSON   `json:"match,omitempty"`
+	Done  *StreamDoneJSON `json:"done,omitempty"`
+}
+
+// StreamDoneJSON is the last line of a match stream. A query that failed
+// after streaming began (deadline, cancellation) reports its error here,
+// since the HTTP status is already committed.
+type StreamDoneJSON struct {
+	Matches   int       `json:"matches"`
+	Stats     StatsJSON `json:"stats"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Code      string    `json:"code,omitempty"`
+	Error     string    `json:"error,omitempty"`
+}
+
+// GraphInfoJSON answers GET /v1/graph.
+type GraphInfoJSON struct {
+	Name          string `json:"name"`
+	Nodes         int    `json:"nodes"`
+	Edges         int    `json:"edges"`
+	Labels        int    `json:"labels"`
+	Workers       int    `json:"workers"`
+	PreparedRadii []int  `json:"prepared_radii"`
+}
+
+// HealthJSON answers GET /v1/healthz. Version and Queries stay 0 on
+// read-only deployments.
+type HealthJSON struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Labels  int    `json:"labels"`
+	Queries int    `json:"queries"`
+}
+
+// Mutation op names, mirroring internal/live.
+const (
+	OpAddNode    = "add_node"
+	OpInsertEdge = "insert_edge"
+	OpDeleteEdge = "delete_edge"
+	OpDeleteNode = "delete_node"
+)
+
+// MutationJSON is one element of an update batch. Which fields matter
+// depends on Op: add_node reads Label; insert_edge and delete_edge read U
+// and V; delete_node reads Node. Fields are pointers so the handler can
+// tell an explicit 0 from an omitted field — every destructive op must name
+// its target, or a misspelled field would silently target node 0. Build
+// mutations with AddNode, InsertEdge, DeleteEdge and DeleteNode.
+type MutationJSON struct {
+	Op    string  `json:"op"`
+	Label *string `json:"label,omitempty"`
+	U     *int32  `json:"u,omitempty"`
+	V     *int32  `json:"v,omitempty"`
+	Node  *int32  `json:"node,omitempty"`
+}
+
+// AddNode builds an add_node mutation.
+func AddNode(label string) MutationJSON {
+	return MutationJSON{Op: OpAddNode, Label: &label}
+}
+
+// InsertEdge builds an insert_edge mutation.
+func InsertEdge(u, v int32) MutationJSON {
+	return MutationJSON{Op: OpInsertEdge, U: &u, V: &v}
+}
+
+// DeleteEdge builds a delete_edge mutation.
+func DeleteEdge(u, v int32) MutationJSON {
+	return MutationJSON{Op: OpDeleteEdge, U: &u, V: &v}
+}
+
+// DeleteNode builds a delete_node mutation.
+func DeleteNode(node int32) MutationJSON {
+	return MutationJSON{Op: OpDeleteNode, Node: &node}
+}
+
+// UpdateRequest is the JSON body of POST /v1/update.
+type UpdateRequest struct {
+	Updates []MutationJSON `json:"updates"`
+}
+
+// UpdateResponse answers POST /v1/update. Recomputed maps standing-query
+// ids (serialized as decimal strings, as encoding/json renders integer
+// keys) to the balls re-evaluated maintaining them.
+type UpdateResponse struct {
+	Version    uint64        `json:"version"`
+	Nodes      int           `json:"nodes"`
+	Edges      int           `json:"edges"`
+	AddedNodes []int32       `json:"added_nodes,omitempty"`
+	Recomputed map[int64]int `json:"recomputed,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+}
+
+// RegisterRequest is the JSON body of POST /v1/queries. Exactly one of
+// Pattern and PatternText must be set.
+type RegisterRequest struct {
+	Pattern     *PatternJSON `json:"pattern,omitempty"`
+	PatternText string       `json:"pattern_text,omitempty"`
+}
+
+// QueryJSON describes one standing query. Matches is populated by
+// GET /v1/queries/{id} and omitted from listings. Pattern is the stored
+// source in the text format, whichever form the query was registered in.
+type QueryJSON struct {
+	ID         int64          `json:"id"`
+	Pattern    string         `json:"pattern,omitempty"`
+	Radius     int            `json:"radius"`
+	Version    uint64         `json:"version"`
+	NumMatches int            `json:"num_matches"`
+	Matches    []SubgraphJSON `json:"matches,omitempty"`
+}
+
+// DeltaJSON answers GET /v1/queries/{id}/delta: the change to the result
+// set in the most recent maintenance step (from_version -> version).
+type DeltaJSON struct {
+	ID          int64          `json:"id"`
+	FromVersion uint64         `json:"from_version"`
+	Version     uint64         `json:"version"`
+	Added       []SubgraphJSON `json:"added"`
+	Removed     []SubgraphJSON `json:"removed"`
+}
+
+// FromSubgraph serializes one perfect subgraph in the wire form shared by
+// match responses, standing-query results and deltas.
+func FromSubgraph(ps *core.PerfectSubgraph) SubgraphJSON {
+	rel := make(map[string][]int32, len(ps.Rel))
+	for u, matches := range ps.Rel {
+		rel[strconv.Itoa(int(u))] = matches
+	}
+	return SubgraphJSON{
+		Center: ps.Center,
+		Nodes:  ps.Nodes,
+		Edges:  ps.Edges,
+		Rel:    rel,
+	}
+}
+
+// FromSubgraphs serializes a subgraph slice, never as JSON null.
+func FromSubgraphs(pss []*core.PerfectSubgraph) []SubgraphJSON {
+	out := make([]SubgraphJSON, 0, len(pss))
+	for _, ps := range pss {
+		out = append(out, FromSubgraph(ps))
+	}
+	return out
+}
+
+// FromStats serializes query statistics.
+func FromStats(st core.Stats) StatsJSON {
+	return StatsJSON{
+		BallsExamined: st.BallsExamined,
+		BallsSkipped:  st.BallsSkipped,
+		PairsRemoved:  st.PairsRemoved,
+		Duplicates:    st.Duplicates,
+		MinimizedFrom: st.MinimizedFrom,
+	}
+}

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/internal/engine"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/live"
+)
+
+func newEngineServer(t *testing.T, g *graph.Graph, cfg api.Config) *Client {
+	t.Helper()
+	e := engine.New(g, engine.Config{Workers: 4})
+	ts := httptest.NewServer(api.NewServer(e, cfg))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func newLiveServer(t *testing.T, g *graph.Graph) *Client {
+	t.Helper()
+	st := live.NewStore(g, live.Config{Workers: 2})
+	ts := httptest.NewServer(api.NewLiveServer(st, api.Config{}))
+	t.Cleanup(ts.Close)
+	return New(ts.URL)
+}
+
+func TestClientMatchForms(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 10, 51)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 52})
+	cl := newEngineServer(t, g, api.Config{})
+	ctx := context.Background()
+
+	info, err := cl.Graph(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.NumNodes() {
+		t.Fatalf("graph info %+v", info)
+	}
+	h, err := cl.Healthz(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("healthz %+v, %v", h, err)
+	}
+
+	text, err := cl.MatchText(ctx, graph.FormatString(q), api.QuerySpec{Mode: api.ModePlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	structured, err := cl.MatchPattern(ctx, api.FromGraph(q), api.QuerySpec{Mode: api.ModePlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(text.Matches) != len(structured.Matches) {
+		t.Fatalf("text form found %d matches, structured %d", len(text.Matches), len(structured.Matches))
+	}
+
+	ranked, err := cl.TopK(ctx, api.MatchRequest{Pattern: api.FromGraph(q)}, 2, api.MetricDensity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked.Matches) > 2 {
+		t.Fatalf("top-2 returned %d", len(ranked.Matches))
+	}
+	for _, m := range ranked.Matches {
+		if m.Score == nil {
+			t.Fatal("ranked match missing score")
+		}
+	}
+
+	// Streaming delivers the same distinct match set.
+	var streamed int
+	done, err := cl.MatchStream(ctx, api.MatchRequest{PatternText: graph.FormatString(q)},
+		func(m api.SubgraphJSON) error { streamed++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Matches != streamed {
+		t.Fatalf("trailer says %d matches, callback saw %d", done.Matches, streamed)
+	}
+	plain, err := cl.MatchText(ctx, graph.FormatString(q), api.QuerySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != len(plain.Matches) {
+		t.Fatalf("streamed %d, one-shot found %d", streamed, len(plain.Matches))
+	}
+}
+
+func TestClientStructuredErrors(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 10, 53)
+	cl := newEngineServer(t, g, api.Config{})
+	ctx := context.Background()
+
+	_, err := cl.MatchText(ctx, "", api.QuerySpec{})
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeInvalidRequest || aerr.Status != 400 {
+		t.Fatalf("missing pattern: %v", err)
+	}
+	_, err = cl.MatchText(ctx, "bogus directive", api.QuerySpec{})
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeInvalidPattern {
+		t.Fatalf("malformed pattern: %v", err)
+	}
+	_, err = cl.TopK(ctx, api.MatchRequest{PatternText: "edge a b"}, 1, "nope")
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeInvalidQuery {
+		t.Fatalf("bad metric: %v", err)
+	}
+	_, err = cl.MatchPattern(ctx, &api.PatternJSON{
+		Nodes: []api.PatternNode{{ID: "a", Label: "x"}, {ID: "b", Label: "y"}},
+		Edges: []api.PatternEdge{{U: "a", V: "b", Bound: "4"}},
+	}, api.QuerySpec{})
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeUnsupportedBound {
+		t.Fatalf("bounded pattern: %v", err)
+	}
+}
+
+// TestClientContextDeadline proves an unset deadline_ms follows the
+// context: the server observes the caller's deadline and answers 504.
+func TestClientContextDeadline(t *testing.T) {
+	g := generator.Synthetic(8000, 1.2, 5, 55)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 56})
+	// Server-side default far above the context deadline: only the
+	// propagated deadline can cause the 504.
+	cl := newEngineServer(t, g, api.Config{DefaultTimeout: time.Minute, MaxTimeout: time.Minute})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, err := cl.MatchText(ctx, graph.FormatString(q), api.QuerySpec{})
+	if err == nil {
+		t.Fatal("expected a deadline failure")
+	}
+	var aerr *api.Error
+	if errors.As(err, &aerr) && aerr.Code != api.CodeDeadlineExceeded {
+		t.Fatalf("server answered %q, want deadline_exceeded", aerr.Code)
+	}
+	// A transport-level context error (the client gave up first) is also
+	// acceptable; either way the call must not hang.
+}
+
+func TestClientStandingQueries(t *testing.T) {
+	b := graph.NewBuilder(nil)
+	labels := []string{"A", "B", "C"}
+	for i := 0; i < 6; i++ {
+		b.AddNode(labels[i%3])
+	}
+	for i := int32(0); i < 5; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := newLiveServer(t, b.Build())
+	ctx := context.Background()
+
+	reg, err := cl.RegisterText(ctx, "node a A\nnode b B\nedge a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.NumMatches != 2 {
+		t.Fatalf("registered with %d matches, want 2", reg.NumMatches)
+	}
+
+	list, err := cl.StandingQueries(ctx)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list %v, %v", list, err)
+	}
+
+	upd, err := cl.Update(ctx, api.DeleteEdge(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Version != 1 {
+		t.Fatalf("update %+v", upd)
+	}
+
+	qj, err := cl.StandingQuery(ctx, reg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qj.NumMatches != 1 || len(qj.Matches) != 1 {
+		t.Fatalf("standing query after update %+v", qj)
+	}
+
+	delta, err := cl.PollDelta(ctx, reg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Removed) != 1 || len(delta.Added) != 0 {
+		t.Fatalf("delta %+v", delta)
+	}
+
+	if err := cl.UnregisterStandingQuery(ctx, reg.ID); err != nil {
+		t.Fatal(err)
+	}
+	var aerr *api.Error
+	if _, err := cl.StandingQuery(ctx, reg.ID); !errors.As(err, &aerr) || aerr.Code != api.CodeNotFound {
+		t.Fatalf("unregistered query lookup: %v", err)
+	}
+
+	// Mutation errors surface with their code.
+	if _, err := cl.Update(ctx, api.InsertEdge(0, 9999)); !errors.As(err, &aerr) || aerr.Code != api.CodeInvalidMutation {
+		t.Fatalf("bad mutation: %v", err)
+	}
+}

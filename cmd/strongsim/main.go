@@ -1,5 +1,6 @@
-// Strongsim matches a pattern file against a data graph file (both in the
-// text format of internal/graph) with a selectable algorithm.
+// Strongsim matches a pattern file against a data graph (both in the
+// text format of internal/graph) with a selectable algorithm — locally, or
+// against a running strongsimd server via the /v1 client SDK.
 //
 // Examples:
 //
@@ -7,15 +8,22 @@
 //	strongsim -pattern q.g -data g.g -algo match      # plain Fig. 3 Match
 //	strongsim -pattern q.g -data g.g -algo sim        # graph simulation
 //	strongsim -pattern q.g -data g.g -algo vf2 -v     # subgraph isomorphism
+//
+//	strongsim -pattern q.g -remote http://localhost:8372           # remote Match+
+//	strongsim -pattern q.g -remote http://localhost:8372 -topk 3   # remote top-k
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"repro/api"
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/isomorphism"
@@ -27,17 +35,26 @@ func main() {
 	log.SetPrefix("strongsim: ")
 	var (
 		patternPath = flag.String("pattern", "", "pattern graph file (required)")
-		dataPath    = flag.String("data", "", "data graph file (required)")
-		algo        = flag.String("algo", "match+", "match+ | match | dual | sim | vf2")
+		dataPath    = flag.String("data", "", "data graph file (required unless -remote)")
+		remote      = flag.String("remote", "", "query a strongsimd server at this base URL instead of matching locally")
+		algo        = flag.String("algo", "match+", "match+ | match | dual | sim | vf2 (remote: match+ | match)")
 		radius      = flag.Int("radius", 0, "ball radius override (0 = pattern diameter)")
-		workers     = flag.Int("workers", 0, "parallel ball workers (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "parallel ball workers (0 = GOMAXPROCS; local only)")
+		topK        = flag.Int("topk", 0, "keep only the k best matches (remote only)")
+		metric      = flag.String("metric", "", "ranking metric for -topk: default | compactness | density | selectivity")
+		timeout     = flag.Duration("timeout", 30*time.Second, "query deadline (remote only)")
 		verbose     = flag.Bool("v", false, "print every match")
 		maxEmb      = flag.Int("max-embeddings", 100000, "vf2: embedding cap")
 	)
 	flag.Parse()
-	if *patternPath == "" || *dataPath == "" {
+	if *patternPath == "" || (*dataPath == "" && *remote == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, *patternPath, *algo, *radius, *topK, *metric, *timeout, *verbose)
+		return
 	}
 
 	labels := graph.NewLabels()
@@ -95,6 +112,66 @@ func main() {
 	default:
 		log.Fatalf("unknown algorithm %q", *algo)
 	}
+}
+
+// runRemote ships the pattern to a strongsimd server through the client
+// SDK and prints the answer in the local output shape.
+func runRemote(base, patternPath, algo string, radius, topK int, metric string, timeout time.Duration, verbose bool) {
+	var mode string
+	switch algo {
+	case "match+":
+		mode = api.ModePlus
+	case "match":
+		mode = api.ModePlain
+	default:
+		log.Fatalf("-remote supports -algo match+ or match, not %q", algo)
+	}
+	src, err := os.ReadFile(patternPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	cl := client.New(base)
+
+	info, err := cl.Graph(ctx)
+	if err != nil {
+		log.Fatalf("%s: %v", base, err)
+	}
+	fmt.Printf("remote  %s(|V|=%d, |E|=%d, labels=%d, workers=%d)\n",
+		nameOr(info.Name, "graph"), info.Nodes, info.Edges, info.Labels, info.Workers)
+
+	start := time.Now()
+	res, err := cl.MatchText(ctx, string(src), api.QuerySpec{
+		Mode: mode, Radius: radius, TopK: topK, Metric: metric,
+	})
+	if err != nil {
+		var aerr *api.Error
+		if errors.As(err, &aerr) {
+			log.Fatalf("%s /v1/match: %s", base, aerr)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (remote): %d perfect subgraphs in %v (server %.2fms; balls examined %d, skipped %d)\n",
+		algo, len(res.Matches), time.Since(start).Round(time.Millisecond),
+		res.ElapsedMS, res.Stats.BallsExamined, res.Stats.BallsSkipped)
+	if verbose {
+		for _, m := range res.Matches {
+			if m.Score != nil {
+				fmt.Printf("  score=%.3f center=%d nodes=%v\n", *m.Score, m.Center, m.Nodes)
+			} else {
+				fmt.Printf("  center=%d nodes=%v\n", m.Center, m.Nodes)
+			}
+		}
+	}
+}
+
+func nameOr(name, fallback string) string {
+	if name == "" {
+		return fallback
+	}
+	return name
 }
 
 func loadGraph(path string, labels *graph.Labels) *graph.Graph {

@@ -1,22 +1,29 @@
 // Strongsimd serves strong-simulation pattern matching over HTTP/JSON,
 // against a graph that can change while it serves. It loads one data graph
 // (text format of internal/graph) at startup as version 0 of a mutable
-// live store, answers concurrent POST /match requests against the latest
-// published version, accepts batched mutations, and keeps registered
-// standing queries incrementally maintained across updates.
+// live store and serves the versioned /v1 protocol of package api:
+// concurrent one-shot and streaming matches against the latest published
+// version, batched mutations, and incrementally maintained standing
+// queries. The pre-/v1 unversioned routes remain as deprecated aliases.
 //
 //	strongsimd -data graph.g                          # serve on :8372
 //	strongsimd -data graph.g -addr :9000 -workers 8
 //	strongsimd -data graph.g -prepare-radii 1,2      # warm v0 ball caches
 //
-//	curl -s localhost:8372/match -d '{"pattern":"edge a b","mode":"match+"}'
-//	curl -s localhost:8372/queries -d '{"pattern":"node a HR\nnode b SE\nedge a b"}'
-//	curl -s localhost:8372/update  -d '{"updates":[{"op":"insert_edge","u":3,"v":9}]}'
-//	curl -s localhost:8372/queries/0
+//	curl -s localhost:8372/v1/match -d '{
+//	    "pattern_text": "edge a b", "query": {"mode": "plus"}}'
+//	curl -s localhost:8372/v1/queries -d '{
+//	    "pattern": {"nodes": [{"id": "a", "label": "HR"},
+//	                          {"id": "b", "label": "SE"}],
+//	                "edges": [{"u": "a", "v": "b"}]}}'
+//	curl -s localhost:8372/v1/update -d '{
+//	    "updates": [{"op": "insert_edge", "u": 3, "v": 9}]}'
+//	curl -s localhost:8372/v1/queries/0
 //
-// Endpoints: GET /healthz (version, sizes, query count), GET /graph,
-// POST /match, POST /update, POST/GET /queries, GET/DELETE /queries/{id},
-// GET /queries/{id}/delta. See DESIGN.md for the schemas.
+// Endpoints: GET /v1/healthz, GET /v1/graph, POST /v1/match,
+// POST /v1/match/stream, POST /v1/update, POST/GET /v1/queries,
+// GET/DELETE /v1/queries/{id}, GET /v1/queries/{id}/delta. See API.md for
+// every schema and error code, and package client for the Go SDK.
 package main
 
 import (
@@ -32,7 +39,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/engine"
+	"repro/api"
 	"repro/internal/graph"
 	"repro/internal/live"
 )
@@ -83,7 +90,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr: *addr,
-		Handler: live.NewServer(store, engine.ServerConfig{
+		Handler: api.NewLiveServer(store, api.Config{
 			DefaultTimeout: *timeout,
 			MaxTimeout:     *maxTimeout,
 			MaxBodyBytes:   *maxBody,
@@ -95,7 +102,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving on %s (workers=%d)", *addr, store.Engine().Workers())
+		log.Printf("serving %s on %s (workers=%d)", api.Prefix, *addr, store.Engine().Workers())
 		errc <- srv.ListenAndServe()
 	}()
 	select {

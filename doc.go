@@ -13,6 +13,12 @@
 //
 // Layout:
 //
+//   - api: the versioned /v1 wire protocol — the structured pattern schema
+//     (PatternJSON), the unified QuerySpec, structured {code, error}
+//     failures, and the HTTP route tree over engine or store (see API.md)
+//   - client: the typed Go SDK for /v1 — Match, MatchStream, TopK, Update,
+//     RegisterStandingQuery, PollDelta — with context deadlines and
+//     structured-error decoding
 //   - internal/graph: node-labeled digraph substrate (balls, components,
 //     cycles, diameters, text format)
 //   - internal/simulation: graph/dual/bounded simulation, bisimulation,
@@ -22,8 +28,7 @@
 //   - internal/engine: the serving layer — prepared snapshots (frozen
 //     labels, candidate centers, cached balls), a concurrent query engine
 //     with worker-pool ball evaluation, context cancellation, streaming,
-//     top-k early termination and radius-sharing batches, plus the /match
-//     HTTP handler
+//     top-k early termination and radius-sharing batches
 //   - internal/live: the dynamic-graph layer — a mutable versioned store
 //     (copy-on-write views, atomic update batches, tombstoned deletions)
 //     with incrementally maintained standing queries, served over HTTP by
@@ -44,37 +49,43 @@
 //
 // # Serving quickstart
 //
-// Generate a workload, start the server, and query it:
+// Generate a workload, start the server, and query it through the /v1
+// protocol with the typed client SDK:
 //
 //	go run ./cmd/gengraph -dataset synthetic -n 10000 -o data.g
 //	go run ./cmd/strongsimd -data data.g -addr :8372 -prepare-radii 1,2
 //
-//	curl -s localhost:8372/match -d '{
-//	    "pattern": "node a HR\nnode b SE\nedge a b\nedge b a",
-//	    "mode": "match+", "top_k": 3, "timeout_ms": 1000}'
+//	cl := client.New("http://localhost:8372")
+//	res, err := cl.MatchPattern(ctx, &api.PatternJSON{
+//	    Nodes: []api.PatternNode{{ID: "a", Label: "HR"}, {ID: "b", Label: "SE"}},
+//	    Edges: []api.PatternEdge{{U: "a", V: "b"}, {U: "b", V: "a"}},
+//	}, api.QuerySpec{Mode: api.ModePlus, TopK: 3})
 //
-// POST /match accepts a pattern in the text format of internal/graph and
-// returns the perfect subgraphs as JSON; GET /graph describes the loaded
-// data graph. examples/server runs the same loop self-contained, and
-// internal/engine documents the embedded API (engine.New, Engine.Match,
-// Engine.Stream, Engine.MatchBatch).
+// POST /v1/match accepts the structured pattern schema (or the text format
+// via pattern_text) with every option in one QuerySpec, and returns the
+// perfect subgraphs as JSON; POST /v1/match/stream delivers them as NDJSON
+// while balls complete; GET /v1/graph describes the loaded data graph.
+// Failures carry machine-readable codes ({"code","error"}) the client
+// decodes into *api.Error. The pre-/v1 routes remain as deprecated
+// aliases. See API.md for the endpoint reference; examples/server runs the
+// same loop self-contained, and internal/engine documents the embedded API
+// (engine.New, Engine.Match, Engine.Stream, Engine.MatchBatch).
 //
 // # Live updates quickstart
 //
 // The served graph is mutable: register a standing query, mutate the graph
-// under it, and read the maintained results and their deltas — only the
+// under it, and poll the maintained results and their deltas — only the
 // centers within pattern-diameter hops of each change are re-evaluated:
 //
-//	curl -s localhost:8372/queries -d '{
-//	    "pattern": "node a HR\nnode b SE\nedge a b"}'        # -> {"id":0,...}
-//	curl -s localhost:8372/update -d '{"updates":[
-//	    {"op":"add_node","label":"HR"},
-//	    {"op":"insert_edge","u":10000,"v":42}]}'             # -> {"version":1,...}
-//	curl -s localhost:8372/queries/0                         # current matches + version
-//	curl -s localhost:8372/queries/0/delta                   # what just changed
+//	reg, err := cl.RegisterText(ctx, "node a HR\nnode b SE\nedge a b")
+//	_, err = cl.Update(ctx,
+//	    api.AddNode("HR"),
+//	    api.InsertEdge(10000, 42))
+//	qj, err := cl.StandingQuery(ctx, reg.ID)   // current matches + version
+//	delta, err := cl.PollDelta(ctx, reg.ID)    // what just changed
 //
-// Standing results are byte-identical to re-running /match from scratch at
-// the same version. examples/live runs this loop self-contained, and
+// Standing results are byte-identical to re-running /v1/match from scratch
+// at the same version. examples/live runs this loop self-contained, and
 // internal/live documents the embedded API (live.NewStore, Store.Apply,
 // Store.Register).
 //

@@ -1,21 +1,24 @@
 // Live demonstrates the dynamic-graph serving workflow end to end without
-// external setup: it mounts the live store's handler on a loopback listener
-// (exactly what cmd/strongsimd serves), registers a standing query, mutates
-// the graph under it, and reads back the incrementally maintained results
-// and their deltas — the register → mutate → read-deltas loop.
+// external setup: it mounts the /v1 live handler on a loopback listener
+// (exactly what cmd/strongsimd serves), registers a standing query through
+// the client SDK, mutates the graph under it, and reads back the
+// incrementally maintained results and their deltas — the register →
+// mutate → poll-deltas loop. No hand-rolled HTTP: every request goes
+// through package client.
 //
 // Run with: go run ./examples/live
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"time"
 
-	"repro/internal/engine"
+	"repro/api"
+	"repro/client"
 	"repro/internal/generator"
 	"repro/internal/graph"
 	"repro/internal/live"
@@ -33,43 +36,57 @@ func main() {
 	}
 	defer ln.Close()
 	go func() {
-		_ = http.Serve(ln, live.NewServer(store, engine.ServerConfig{}))
+		_ = http.Serve(ln, api.NewLiveServer(store, api.Config{}))
 	}()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("strongsimd-style live server listening on %s\n\n", base)
 
-	var health live.HealthJSON
-	getJSON(base+"/healthz", &health)
-	fmt.Printf("GET /healthz -> v%d: %d nodes, %d edges, %d standing queries\n\n",
+	cl := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	health, err := cl.Healthz(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /v1/healthz -> v%d: %d nodes, %d edges, %d standing queries\n\n",
 		health.Version, health.Nodes, health.Edges, health.Queries)
 
 	// Register: a pattern sampled from the data graph becomes a standing
 	// query whose result set the store keeps current.
 	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 11})
-	var reg live.QueryJSON
-	postJSON(base+"/queries", live.RegisterRequest{Pattern: graph.FormatString(q)}, &reg)
-	fmt.Printf("POST /queries -> standing query %d at v%d with %d matches\n",
+	reg, err := cl.RegisterText(ctx, graph.FormatString(q))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/queries -> standing query %d at v%d with %d matches\n",
 		reg.ID, reg.Version, reg.NumMatches)
 
 	// Mutate: grow a fresh subgraph that matches the pattern — new nodes
 	// first, then the edges wiring them into shape.
-	batch := live.UpdateRequest{}
+	var muts []api.MutationJSON
 	base0 := int32(health.Nodes)
 	for u := int32(0); u < int32(q.NumNodes()); u++ {
-		batch.Updates = append(batch.Updates, live.Mutation{Op: live.OpAddNode, Label: q.LabelName(u)})
+		muts = append(muts, api.AddNode(q.LabelName(u)))
 	}
+	var lastU, lastV int32
 	q.Edges(func(u, v int32) {
-		batch.Updates = append(batch.Updates, live.Mutation{Op: live.OpInsertEdge, U: base0 + u, V: base0 + v})
+		lastU, lastV = base0+u, base0+v
+		muts = append(muts, api.InsertEdge(lastU, lastV))
 	})
-	var upd live.UpdateResponse
-	postJSON(base+"/update", batch, &upd)
-	fmt.Printf("POST /update -> v%d after %d mutations in %.2fms (re-evaluated %v dirty balls)\n",
-		upd.Version, len(batch.Updates), upd.ElapsedMS, upd.Recomputed)
+	upd, err := cl.Update(ctx, muts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/update -> v%d after %d mutations in %.2fms (re-evaluated %v dirty balls)\n",
+		upd.Version, len(muts), upd.ElapsedMS, upd.Recomputed)
 
-	// Read deltas: the standing query noticed without being re-run.
-	var delta live.DeltaJSON
-	getJSON(fmt.Sprintf("%s/queries/%d/delta", base, reg.ID), &delta)
-	fmt.Printf("GET /queries/%d/delta -> v%d..v%d: +%d -%d subgraphs\n",
+	// Poll deltas: the standing query noticed without being re-run.
+	delta, err := cl.PollDelta(ctx, reg.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET /v1/queries/%d/delta -> v%d..v%d: +%d -%d subgraphs\n",
 		reg.ID, delta.FromVersion, delta.Version, len(delta.Added), len(delta.Removed))
 	for i, m := range delta.Added {
 		if i == 3 {
@@ -80,49 +97,20 @@ func main() {
 	}
 
 	// Tear one new edge back out; the affected matches disappear.
-	last := batch.Updates[len(batch.Updates)-1]
-	postJSON(base+"/update", live.UpdateRequest{Updates: []live.Mutation{
-		{Op: live.OpDeleteEdge, U: last.U, V: last.V},
-	}}, &upd)
-	getJSON(fmt.Sprintf("%s/queries/%d/delta", base, reg.ID), &delta)
+	if _, err := cl.Update(ctx, api.DeleteEdge(lastU, lastV)); err != nil {
+		log.Fatal(err)
+	}
+	delta, err = cl.PollDelta(ctx, reg.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("after deleting (%d,%d): v%d..v%d: +%d -%d subgraphs\n",
-		last.U, last.V, delta.FromVersion, delta.Version, len(delta.Added), len(delta.Removed))
+		lastU, lastV, delta.FromVersion, delta.Version, len(delta.Added), len(delta.Removed))
 
 	// One-shot queries always see the newest version.
-	var info engine.GraphInfoJSON
-	getJSON(base+"/graph", &info)
-	fmt.Printf("\nGET /graph -> %s: %d nodes, %d edges\n", info.Name, info.Nodes, info.Edges)
-}
-
-func getJSON(url string, v any) {
-	resp, err := http.Get(url)
+	info, err := cl.Graph(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
-}
-
-func postJSON(url string, req, v any) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("%s: %s (%s)", url, resp.Status, e.Error)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("\nGET /v1/graph -> %s: %d nodes, %d edges\n", info.Name, info.Nodes, info.Edges)
 }

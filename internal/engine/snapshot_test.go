@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+)
+
+// TestParsePatternErrors covers the failure paths of Snapshot.ParsePattern:
+// every malformed input must answer an error, not a zero-value pattern.
+func TestParsePatternErrors(t *testing.T) {
+	g := generator.Synthetic(100, 1.2, 6, 11)
+	snap := NewSnapshot(g)
+
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty source", "", "empty"},
+		{"blank lines only", "\n  \n# comment\n", "empty"},
+		{"unknown directive", "bogus directive", "unknown directive"},
+		{"node arity", "node a", "want 'node <id> <label>'"},
+		{"edge arity", "edge a", "want 'edge <id> <id>'"},
+		{"graph arity", "graph", "want 'graph <name>'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := snap.ParsePattern(tc.src)
+			if err == nil {
+				t.Fatalf("ParsePattern(%q) = %v, want error", tc.src, q)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParsePattern(%q) error %q, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParsePatternNovelLabels proves patterns whose labels the data graph
+// has never seen parse fine, leave the snapshot's shared label table
+// untouched, and answer the correct empty result.
+func TestParsePatternNovelLabels(t *testing.T) {
+	g := generator.Synthetic(100, 1.2, 6, 13)
+	e := New(g, Config{Workers: 2})
+	snap := e.Snapshot()
+	before := g.Labels().Len()
+
+	q, err := snap.ParsePattern("node a never-seen-label\nnode b also-novel\nedge a b\nedge b a\n")
+	if err != nil {
+		t.Fatalf("novel-label pattern should parse: %v", err)
+	}
+	if q.NumNodes() != 2 || q.NumEdges() != 2 {
+		t.Fatalf("parsed %v", q)
+	}
+	if got := g.Labels().Len(); got != before {
+		t.Fatalf("shared label table grew %d -> %d: ParsePattern leaked an intern", before, got)
+	}
+
+	// No candidates anywhere: the query's correct answer is no matches.
+	res, err := e.Match(context.Background(), q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("novel-label pattern matched %d subgraphs", res.Len())
+	}
+	if res.Stats.BallsSkipped != g.NumNodes() {
+		t.Fatalf("expected every center skipped, got %+v", res.Stats)
+	}
+
+	// Mixed: one known label keeps its id so the pattern stays
+	// label-compatible with the data graph.
+	q2, err := snap.ParsePattern("node a l0\nnode b fresh-label\nedge a b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Label(0) != g.Labels().ID("l0") {
+		t.Errorf("known label re-interned: pattern id %d, data id %d", q2.Label(0), g.Labels().ID("l0"))
+	}
+}

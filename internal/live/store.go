@@ -197,7 +197,7 @@ func NewStore(g *graph.Graph, cfg Config) *Store {
 func (s *Store) Current() *Version { return s.current.Load() }
 
 // Engine returns the latest version's query engine (the provider
-// engine.NewDynamicServer wants).
+// api.NewDynamicServer wants).
 func (s *Store) Engine() *engine.Engine { return s.Current().Engine() }
 
 // batchState is the copy-on-write working state of one Apply call. Nothing
