@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distributed"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/generator"
 	"repro/internal/graph"
@@ -464,5 +465,66 @@ func BenchmarkBallConstruction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		graph.NewBall(g, int32(i%g.NumNodes()), 3)
+	}
+}
+
+// --- Exec pipeline (internal/exec, PR 5) -----------------------------------
+
+// BenchmarkBallConstructionScratch is BenchmarkBallConstruction on the
+// executor's per-worker arena: the same balls, built into reused storage.
+func BenchmarkBallConstructionScratch(b *testing.B) {
+	_, g := benchWorkload(b)
+	var s graph.BallScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Build(g, int32(i%g.NumNodes()), 3)
+	}
+}
+
+// execEvalWorkload mirrors the engine workload at per-ball granularity: one
+// iteration = one center's precheck + ball + evaluation, the unit of work
+// the exec pool schedules.
+func execEvalWorkload(b *testing.B) (q, g *graph.Graph, radius int) {
+	b.Helper()
+	q, g = engineWorkload(b)
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		b.Fatal("pattern disconnected")
+	}
+	return q, g, dq
+}
+
+// BenchmarkExecBallEvalFresh is the pre-refactor per-ball cost, kept as the
+// regression baseline: a fresh ball and fresh simulation state per center.
+func BenchmarkExecBallEvalFresh(b *testing.B) {
+	q, g, radius := execEvalWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		center := int32(i % g.NumNodes())
+		if len(q.NodesWithLabel(g.Label(center))) == 0 {
+			continue
+		}
+		ball := graph.NewBall(g, center, radius)
+		core.EvalPreparedBallWith(q, ball, center, core.Options{}, nil)
+	}
+}
+
+// BenchmarkExecBallEvalScratch is the same per-ball work on the exec
+// pipeline's per-worker scratch — the ISSUE 5 acceptance pair with
+// BenchmarkExecBallEvalFresh (allocs/op must drop by ≥20%).
+func BenchmarkExecBallEvalScratch(b *testing.B) {
+	q, g, radius := execEvalWorkload(b)
+	s := new(exec.Scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		center := int32(i % g.NumNodes())
+		if len(q.NodesWithLabel(g.Label(center))) == 0 {
+			continue
+		}
+		ball := s.Balls.Build(g, center, radius)
+		core.EvalPreparedBallIn(q, ball, center, core.Options{}, nil, &s.Sim)
 	}
 }

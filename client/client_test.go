@@ -142,6 +142,46 @@ func TestClientContextDeadline(t *testing.T) {
 	// acceptable; either way the call must not hang.
 }
 
+// TestClientMatchStreamCancel cancels the context mid-stream and checks the
+// NDJSON reader surfaces ctx.Err() promptly instead of draining the rest of
+// the stream — the PR 5 satellite for SDK-side cancellation.
+func TestClientMatchStreamCancel(t *testing.T) {
+	// Few labels over many nodes: thousands of matches, so the stream is far
+	// larger than any transport buffering and cannot complete before the
+	// cancellation lands.
+	g := generator.Synthetic(6000, 1.2, 4, 57)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 58})
+	cl := newEngineServer(t, g, api.Config{DefaultTimeout: time.Minute, MaxTimeout: time.Minute})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	matches := 0
+	start := time.Now()
+	_, err := cl.MatchStream(ctx, api.MatchRequest{PatternText: graph.FormatString(q)}, func(api.SubgraphJSON) error {
+		matches++
+		if matches == 1 {
+			cancel()
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled stream returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v, want an error wrapping context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation surfaced after %v; want promptly", elapsed)
+	}
+	// The workload streams thousands of matches; a working cancel stops the
+	// reader after the first plus whatever the transport had already
+	// buffered, while a broken one drains the lot.
+	if matches > 500 {
+		t.Fatalf("reader kept consuming after cancel: %d matches delivered", matches)
+	}
+}
+
 func TestClientStandingQueries(t *testing.T) {
 	b := graph.NewBuilder(nil)
 	labels := []string{"A", "B", "C"}

@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON document on stdout — the format of the per-PR performance
+// trajectory artifacts (BENCH_PR5.json and successors) CI uploads:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x ./... | benchjson > BENCH.json
+//
+// Each benchmark line becomes {name, iterations, ns_per_op, bytes_per_op,
+// allocs_per_op}; goos/goarch/pkg/cpu header lines are captured once as
+// environment metadata. Lines that are neither are ignored, so interleaved
+// PASS/ok output is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// bytes_per_op/allocs_per_op are pointers so a measured 0 (the goal state
+// allocs/op trends toward) is emitted, while a run without -benchmem
+// omits the fields entirely.
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+type report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+// BenchmarkExecBallEvalScratch-8   3   123456 ns/op   128 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	rep := report{Env: make(map[string]string)}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok && rep.Env[key] == "" {
+				rep.Env[key] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			n, _ := strconv.ParseInt(m[4], 10, 64)
+			b.BytesPerOp = &n
+		}
+		if m[5] != "" {
+			n, _ := strconv.ParseInt(m[5], 10, 64)
+			b.AllocsPerOp = &n
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -25,6 +25,13 @@
 //     match graphs, the HHK-style refinement engine
 //   - internal/core: the paper's contribution — Match (Fig. 3), minQ
 //     (Fig. 4), dualFilter (Fig. 5), connectivity pruning, Match+, ranking
+//   - internal/exec: the one ball-evaluation worker pool — generic
+//     Run/RunOrdered over a position space with pluggable center sources,
+//     ball providers, evaluators and sinks, context cancellation,
+//     early exit, and a per-worker scratch arena (ball buffers + dual
+//     simulation state, reset between centers) so the hot path does not
+//     allocate per ball; core, engine, live, approx, regexsim,
+//     incremental and distributed all schedule through it
 //   - internal/engine: the serving layer — prepared snapshots (frozen
 //     labels, candidate centers, cached balls), a concurrent query engine
 //     with worker-pool ball evaluation, context cancellation, streaming,

@@ -1,9 +1,11 @@
 package approx
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -21,6 +23,10 @@ type MCSOptions struct {
 	// GrowthsPerSeed is the number of randomized candidate subgraphs grown
 	// per seed node (default 2: one deterministic BFS, one randomized).
 	GrowthsPerSeed int
+	// Workers is the number of goroutines growing and scoring candidates on
+	// the internal/exec pool; 0 uses GOMAXPROCS, 1 runs sequentially.
+	// Results are identical at any width: admission runs in seed order.
+	Workers int
 }
 
 func (o *MCSOptions) defaults() {
@@ -58,45 +64,73 @@ func MCS(q, g *graph.Graph, opts MCSOptions) []*MCSMatch {
 		qLabels[q.Label(u)] = true
 	}
 
-	var out []*MCSMatch
-	seen := make(map[string]bool)
-	scored := 0
+	type growthJob struct {
+		v      int32
+		growth int
+	}
+	var jobs []growthJob
 	for v := int32(0); v < int32(g.NumNodes()); v++ {
 		if !qLabels[g.Label(v)] {
 			continue
 		}
 		for growth := 0; growth < opts.GrowthsPerSeed; growth++ {
-			if opts.MaxCandidates > 0 && scored >= opts.MaxCandidates {
-				return out
-			}
+			jobs = append(jobs, growthJob{v: v, growth: growth})
+		}
+	}
+
+	type candidate struct {
+		nodes  []int32
+		common int
+		score  float64
+	}
+	// Growth and scoring are pure per job (the randomized expansion is
+	// seeded by the job itself), so they fan out over the exec pool; the
+	// ordered sink owns dedup and the MaxCandidates budget, so the admitted
+	// set matches the historical sequential sweep. A duplicate candidate is
+	// scored redundantly on a worker before the sink discards it — wasted
+	// work, never a changed answer.
+	var out []*MCSMatch
+	seen := make(map[string]bool)
+	scored := 0
+	_ = exec.RunOrdered(context.Background(), exec.Options{Workers: opts.Workers}, len(jobs),
+		func(_ *exec.Scratch, pos int) candidate {
+			j := jobs[pos]
 			var nodes []int32
-			if growth == 0 {
-				nodes = growCandidate(g, v, k)
+			if j.growth == 0 {
+				nodes = growCandidate(g, j.v, k)
 			} else {
 				// Deterministic per (seed node, growth index) randomized
 				// expansion widens the candidate sample.
-				nodes = growCandidateRandom(g, v, k, int64(v)*31+int64(growth))
+				nodes = growCandidateRandom(g, j.v, k, int64(j.v)*31+int64(j.growth))
 			}
 			if len(nodes) < k {
-				continue
+				return candidate{}
 			}
-			sig := nodeSignature(nodes)
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			scored++
 			common := greedyCommonSubgraph(q, g, nodes)
 			den := k
 			if len(nodes) > den {
 				den = len(nodes)
 			}
-			score := float64(common) / float64(den)
-			if score >= opts.Threshold {
-				out = append(out, &MCSMatch{Nodes: nodes, Common: common, Score: score})
+			return candidate{nodes: nodes, common: common, score: float64(common) / float64(den)}
+		},
+		func(pos int, c candidate) bool {
+			if opts.MaxCandidates > 0 && scored >= opts.MaxCandidates {
+				return false
 			}
-		}
-	}
+			if c.nodes == nil {
+				return true
+			}
+			sig := nodeSignature(c.nodes)
+			if seen[sig] {
+				return true
+			}
+			seen[sig] = true
+			scored++
+			if c.score >= opts.Threshold {
+				out = append(out, &MCSMatch{Nodes: c.nodes, Common: c.common, Score: c.score})
+			}
+			return true
+		})
 	return out
 }
 

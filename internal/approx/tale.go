@@ -1,8 +1,10 @@
 package approx
 
 import (
+	"context"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -17,6 +19,10 @@ type TALEOptions struct {
 	// MaxSeeds caps the number of seed assignments grown into matches;
 	// 0 = all candidate seeds.
 	MaxSeeds int
+	// Workers is the number of goroutines growing seed assignments on the
+	// internal/exec pool; 0 uses GOMAXPROCS, 1 runs sequentially. Results
+	// are identical at any width: admission runs in seed order.
+	Workers int
 }
 
 func (o *TALEOptions) defaults() {
@@ -84,25 +90,37 @@ func TALE(q, g *graph.Graph, opts TALEOptions) []*TALEMatch {
 	for _, u := range important {
 		cand[u] = indexProbe(qi, gi, u, opts.Rho)
 	}
-
-	var out []*TALEMatch
-	seen := make(map[string]bool)
+	type seed struct{ anchor, v int32 }
+	var seeds []seed
 	for _, anchor := range important {
 		for _, v := range cand[anchor] {
+			seeds = append(seeds, seed{anchor: anchor, v: v})
+		}
+	}
+
+	// Growth is a pure function of the seed, so it fans out over the exec
+	// pool; dedup and the MaxSeeds cap run in the ordered sink, keeping the
+	// admitted set identical to the historical sequential sweep.
+	var out []*TALEMatch
+	seen := make(map[string]bool)
+	_ = exec.RunOrdered(context.Background(), exec.Options{Workers: opts.Workers}, len(seeds),
+		func(_ *exec.Scratch, pos int) *TALEMatch {
+			return growMatch(q, g, qi, gi, seeds[pos].anchor, seeds[pos].v, cand, opts)
+		},
+		func(pos int, m *TALEMatch) bool {
 			if opts.MaxSeeds > 0 && len(out) >= opts.MaxSeeds {
-				return out
+				return false
 			}
-			m := growMatch(q, g, qi, gi, anchor, v, cand, opts)
 			if m == nil || len(m.Nodes()) < minCover {
-				continue
+				return true
 			}
 			sig := nodeSignature(m.Nodes())
 			if !seen[sig] {
 				seen[sig] = true
 				out = append(out, m)
 			}
-		}
-	}
+			return true
+		})
 	return out
 }
 

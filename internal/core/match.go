@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/simulation"
 )
@@ -54,6 +54,16 @@ func MatchPlus(q, g *graph.Graph) (*Result, error) {
 
 // MatchWith runs strong simulation with explicit options.
 func MatchWith(q, g *graph.Graph, opts Options) (*Result, error) {
+	return MatchCtx(context.Background(), q, g, opts)
+}
+
+// MatchCtx is MatchWith with cancellation: when ctx is cancelled or its
+// deadline passes mid-run, MatchCtx returns ctx's error. Cancellation is
+// observed between balls and between the precomputation phases (the global
+// dual simulation itself is not interruptible). Ball evaluation fans out
+// over the internal/exec pool; Workers: 1 keeps the strictly sequential,
+// deterministic execution the paper's complexity analysis assumes.
+func MatchCtx(ctx context.Context, q, g *graph.Graph, opts Options) (*Result, error) {
 	if q.NumNodes() == 0 {
 		return nil, fmt.Errorf("core: empty pattern graph")
 	}
@@ -73,6 +83,9 @@ func MatchWith(q, g *graph.Graph, opts Options) (*Result, error) {
 		res.Stats.MinimizedFrom = q.Size()
 		qEff, classOf = MinimizeQuery(q)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Global dual-simulation filter (Fig. 5 precomputation).
 	var global simulation.Relation
@@ -86,33 +99,23 @@ func MatchWith(q, g *graph.Graph, opts Options) (*Result, error) {
 		global = rel
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
 	type centerResult struct {
 		ps    *PerfectSubgraph
 		stats Stats
 	}
 	out := make([]centerResult, g.NumNodes())
-	var wg sync.WaitGroup
-	next := make(chan int32, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for center := range next {
-				ps, stats := evalBall(qEff, g, center, radius, opts, global)
-				out[center] = centerResult{ps: ps, stats: stats}
-			}
-		}()
+	err := exec.Run(ctx, exec.Options{Workers: opts.Workers}, g.NumNodes(),
+		func(s *exec.Scratch, pos int) centerResult {
+			ps, stats := evalBall(s, qEff, g, int32(pos), radius, opts, global)
+			return centerResult{ps: ps, stats: stats}
+		},
+		func(pos int, cr centerResult) bool {
+			out[pos] = cr
+			return true
+		})
+	if err != nil {
+		return nil, err
 	}
-	for v := int32(0); v < int32(g.NumNodes()); v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
 
 	perCenter := make([]*PerfectSubgraph, len(out))
 	for i, cr := range out {
@@ -132,8 +135,9 @@ func MatchWith(q, g *graph.Graph, opts Options) (*Result, error) {
 
 // evalBall evaluates one ball Ĝ[center, radius]: lines 2-5 of Match
 // (Fig. 3), or the dualFilter variant (Fig. 5) when a global relation is
-// supplied.
-func evalBall(q, g *graph.Graph, center int32, radius int, opts Options, global simulation.Relation) (*PerfectSubgraph, Stats) {
+// supplied. The ball is built into the worker's scratch; nothing of it
+// survives the call.
+func evalBall(s *exec.Scratch, q, g *graph.Graph, center int32, radius int, opts Options, global simulation.Relation) (*PerfectSubgraph, Stats) {
 	var stats Stats
 	// A perfect subgraph must contain its center (ExtractMaxPG line 1).
 	// With the global relation available, centers it leaves unmatched are
@@ -160,8 +164,8 @@ func evalBall(q, g *graph.Graph, center int32, radius int, opts Options, global 
 		return nil, stats
 	}
 
-	ball := graph.NewBall(g, center, radius)
-	ps, evalStats := EvalPreparedBallWith(q, ball, center, opts, global)
+	ball := s.Balls.Build(g, center, radius)
+	ps, evalStats := EvalPreparedBallIn(q, ball, center, opts, global, &s.Sim)
 	stats.BallsExamined += evalStats.BallsExamined
 	stats.BallsSkipped += evalStats.BallsSkipped
 	stats.PairsRemoved += evalStats.PairsRemoved
@@ -186,10 +190,19 @@ func EvalPreparedBall(q *graph.Graph, ball *graph.Ball, center int32) (*PerfectS
 // the parent graph's coordinates. Callers are responsible for any
 // pre-construction center filtering (label precheck or global-relation
 // membership); this function always evaluates the ball it is given. The
-// query engine (internal/engine) fans calls to this function across a worker
-// pool; it must therefore remain safe for concurrent use with a shared
-// read-only q, ball and global.
+// executor (internal/exec) fans calls across a worker pool; it must
+// therefore remain safe for concurrent use with a shared read-only q, ball
+// and global.
 func EvalPreparedBallWith(q *graph.Graph, ball *graph.Ball, center int32, opts Options, global simulation.Relation) (*PerfectSubgraph, Stats) {
+	return EvalPreparedBallIn(q, ball, center, opts, global, nil)
+}
+
+// EvalPreparedBallIn is EvalPreparedBallWith with the per-ball working state
+// (candidate relation, pruning sets, refiner counters) drawn from sc instead
+// of freshly allocated — the evaluator stage of the exec pipeline. A nil sc
+// allocates as before. The returned subgraph copies everything out of the
+// ball and scratch, so both may be reused immediately.
+func EvalPreparedBallIn(q *graph.Graph, ball *graph.Ball, center int32, opts Options, global simulation.Relation, sc *simulation.Scratch) (*PerfectSubgraph, Stats) {
 	var stats Stats
 	bg := ball.G
 
@@ -197,7 +210,7 @@ func EvalPreparedBallWith(q *graph.Graph, ball *graph.Ball, center int32, opts O
 	var rel simulation.Relation
 	if global != nil {
 		// Project the global relation onto the ball (Fig. 5 line 1).
-		rel = simulation.NewRelation(q.NumNodes(), bg.NumNodes())
+		rel = sc.Relation(q.NumNodes(), bg.NumNodes())
 		for u := range global {
 			for _, bv := range ball.Orig {
 				if global[u].Contains(bv) {
@@ -206,19 +219,22 @@ func EvalPreparedBallWith(q *graph.Graph, ball *graph.Ball, center int32, opts O
 			}
 		}
 	} else {
-		rel = simulation.InitByLabel(q, bg)
+		rel = simulation.InitByLabelIn(q, bg, sc)
 	}
 
 	// Connectivity pruning (Section 4.2): keep only candidates in the
 	// center's component of the candidate-induced subgraph.
 	if opts.ConnectivityPruning {
-		cand := rel.DataNodes(bg.NumNodes())
+		cand := sc.SpareSet(bg.NumNodes())
+		for _, cs := range rel {
+			cand.UnionWith(cs)
+		}
 		if !cand.Contains(ball.Center) {
 			stats.BallsSkipped++
 			return nil, stats
 		}
 		comp := graph.ComponentWithin(bg, ball.Center, cand.Contains)
-		keep := graph.NewNodeSet(bg.NumNodes())
+		keep := sc.SpareSet(bg.NumNodes())
 		for _, v := range comp {
 			keep.Add(v)
 		}
@@ -228,7 +244,7 @@ func EvalPreparedBallWith(q *graph.Graph, ball *graph.Ball, center int32, opts O
 	}
 
 	stats.BallsExamined++
-	refiner := simulation.NewRefiner(q, bg, rel, simulation.ChildParent)
+	refiner := simulation.NewRefinerIn(q, bg, rel, simulation.ChildParent, sc)
 	if global != nil && !opts.ConnectivityPruning {
 		// Proposition 5: only border nodes can have lost support to the
 		// ball cut; everything else is revalidated transitively.

@@ -1,12 +1,14 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -152,14 +154,26 @@ func (s *site) matchLocal(c *Cluster, q *graph.Graph, radius int, fetchRequests,
 	}
 	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
 
+	// One site = one sequential exec run (Workers: 1): the fetch cache and
+	// its traffic accounting are per-site mutable state, and a site models
+	// one machine — cross-site parallelism already comes from the
+	// coordinator running sites concurrently. Balls are caller-assembled
+	// from fragment-local plus fetched adjacency; only the simulation state
+	// draws on the worker scratch.
 	var out []*core.PerfectSubgraph
-	for _, center := range centers {
-		ball := assembleBall(c, lookup, center, radius)
-		ps, _ := core.EvalPreparedBall(q, ball, center)
-		if ps != nil {
-			out = append(out, ps)
-		}
-	}
+	_ = exec.Run(context.Background(), exec.Options{Workers: 1}, len(centers),
+		func(sc *exec.Scratch, pos int) *core.PerfectSubgraph {
+			center := centers[pos]
+			ball := assembleBall(c, lookup, center, radius)
+			ps, _ := core.EvalPreparedBallIn(q, ball, center, core.Options{}, nil, &sc.Sim)
+			return ps
+		},
+		func(pos int, ps *core.PerfectSubgraph) bool {
+			if ps != nil {
+				out = append(out, ps)
+			}
+			return true
+		})
 	return out
 }
 

@@ -3,10 +3,10 @@ package engine
 import (
 	"context"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -39,24 +39,24 @@ func (e *Engine) MatchBatch(ctx context.Context, queries []BatchQuery) []BatchRe
 	preps := make([]*preparedQuery, len(queries))
 
 	// Per-query precomputation (dominated by the global dual-simulation
-	// filters) fans out across the worker budget.
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.workers)
-	for i := range queries {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := e.prepare(ctx, queries[i].Pattern, queries[i].Opts)
-			if err != nil {
-				results[i].Err = err
-				return
-			}
-			preps[i] = p
-		}(i)
+	// filters) fans out across the worker budget on the exec pool.
+	type prepOutcome struct {
+		p   *preparedQuery
+		err error
 	}
-	wg.Wait()
+	_ = exec.Run(ctx, exec.Options{Workers: e.workers}, len(queries),
+		func(_ *exec.Scratch, i int) prepOutcome {
+			p, err := e.prepare(ctx, queries[i].Pattern, queries[i].Opts)
+			return prepOutcome{p: p, err: err}
+		},
+		func(i int, o prepOutcome) bool {
+			if o.err != nil {
+				results[i].Err = o.err
+			} else {
+				preps[i] = o.p
+			}
+			return true
+		})
 
 	// Group live queries by effective radius; the shared radius is what
 	// makes one ball reusable across a group's patterns.
@@ -127,53 +127,29 @@ func (e *Engine) runGroup(ctx context.Context, radius int, idxs []int, queries [
 		stats  core.Stats
 	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	tasks := make(chan int32)
-	out := make(chan outcome, e.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for center := range tasks {
-				var ball *graph.Ball // built lazily, shared by the group's patterns
-				for k, i := range idxs {
-					if !want[k].Contains(center) || done[k].Load() {
-						continue
-					}
-					if ball == nil {
-						ball = e.snap.Ball(center, radius)
-					}
-					ps, stats := core.EvalPreparedBallWith(preps[i].qEff, ball, center, queries[i].Opts.coreOptions(), preps[i].global)
-					select {
-					case out <- outcome{qpos: k, center: center, ps: ps, stats: stats}:
-					case <-runCtx.Done():
-						return
-					}
-				}
+	// One exec evaluation = one center: the ball is built (or fetched) at
+	// most once and evaluated against every group member that wants it.
+	evalCenter := func(s *exec.Scratch, pos int) []outcome {
+		center := centers[pos]
+		var ball *graph.Ball // built lazily, shared by the group's patterns
+		var outs []outcome
+		for k, i := range idxs {
+			if !want[k].Contains(center) || done[k].Load() {
+				continue
 			}
-		}()
-	}
-	go func() {
-		defer close(tasks)
-		for _, c := range centers {
-			select {
-			case tasks <- c:
-			case <-runCtx.Done():
-				return
+			if ball == nil {
+				ball = e.snap.BallIn(&s.Balls, center, radius)
 			}
+			ps, stats := core.EvalPreparedBallIn(preps[i].qEff, ball, center, queries[i].Opts.coreOptions(), preps[i].global, &s.Sim)
+			outs = append(outs, outcome{qpos: k, center: center, ps: ps, stats: stats})
 		}
-	}()
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
+		return outs
+	}
 
-	// Collector. Unlimited queries gather per candidate center and dedup in
-	// center order afterwards, for parity with Match; limited queries dedup
-	// on arrival and stop at their cap. Collection is sized by each query's
-	// candidate count, never by |V|.
+	// Collector (the exec sink). Unlimited queries gather per candidate
+	// center and dedup in center order afterwards, for parity with Match;
+	// limited queries dedup on arrival and stop at their cap. Collection is
+	// sized by each query's candidate count, never by |V|.
 	type collect struct {
 		res       *core.Result
 		perCenter []*core.PerfectSubgraph
@@ -195,29 +171,33 @@ func (e *Engine) runGroup(ctx context.Context, radius int, idxs []int, queries [
 		colls[k] = c
 	}
 	doneCount := 0
-	for o := range out {
-		k := o.qpos
-		c := colls[k]
-		if done[k].Load() {
-			continue
-		}
-		foldStats(&c.res.Stats, o.stats)
-		if c.perCenter != nil {
-			c.perCenter[c.posOf[o.center]] = o.ps
-			continue
-		}
-		if !c.dedup.Admit(o.ps, &c.res.Stats) {
-			continue
-		}
-		c.res.Subgraphs = append(c.res.Subgraphs, o.ps)
-		if len(c.res.Subgraphs) >= queries[idxs[k]].Opts.Limit {
-			done[k].Store(true)
-			doneCount++
-			if limited == len(idxs) && doneCount == len(idxs) {
-				cancel() // every member satisfied; stop the group early
+	_ = exec.Run(ctx, exec.Options{Workers: e.workers}, len(centers), evalCenter,
+		func(pos int, outs []outcome) bool {
+			for _, o := range outs {
+				k := o.qpos
+				c := colls[k]
+				if done[k].Load() {
+					continue
+				}
+				foldStats(&c.res.Stats, o.stats)
+				if c.perCenter != nil {
+					c.perCenter[c.posOf[o.center]] = o.ps
+					continue
+				}
+				if !c.dedup.Admit(o.ps, &c.res.Stats) {
+					continue
+				}
+				c.res.Subgraphs = append(c.res.Subgraphs, o.ps)
+				if len(c.res.Subgraphs) >= queries[idxs[k]].Opts.Limit {
+					done[k].Store(true)
+					doneCount++
+					if limited == len(idxs) && doneCount == len(idxs) {
+						return false // every member satisfied; stop the group early
+					}
+				}
 			}
-		}
-	}
+			return true
+		})
 	finalize := func(k, i int) {
 		c := colls[k]
 		if c.perCenter != nil {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -72,6 +73,73 @@ func TestConcurrentQueriesSharedSnapshot(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPrepareDropRaceAgainstMatch hammers Snapshot.PrepareBalls and
+// DropBalls at exactly the radius in-flight queries use, so every Match
+// keeps flipping between the cached-ball path (shared long-lived balls) and
+// the scratch path (per-worker arenas) mid-query. Results must stay
+// byte-identical to the sequential expectation throughout, and the run must
+// be clean under -race (the CI test step runs with -race; this is the PR 5
+// satellite test for snapshot/scratch interplay).
+func TestPrepareDropRaceAgainstMatch(t *testing.T) {
+	g := generator.Synthetic(600, 1.2, 10, 23)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 3})
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		t.Fatal("sampled pattern disconnected")
+	}
+	want, err := core.MatchWith(q, g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := NewSnapshot(g)
+	e := NewWithSnapshot(snap, Config{Workers: 4})
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap.PrepareBalls(dq)
+				snap.DropBalls(dq)
+			}
+		}()
+	}
+
+	var queries sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		queries.Add(1)
+		go func() {
+			defer queries.Done()
+			for rep := 0; rep < 4; rep++ {
+				got, err := e.Match(context.Background(), q, QueryOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs <- fmt.Errorf("match under cache churn diverged: %d vs %d subgraphs", got.Len(), want.Len())
+					return
+				}
+			}
+		}()
+	}
+	queries.Wait()
+	close(stop)
+	churn.Wait()
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)

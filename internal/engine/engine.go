@@ -17,9 +17,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/simulation"
 )
@@ -170,66 +170,24 @@ type ballOutcome struct {
 	stats core.Stats
 }
 
-// evalCenters fans ball evaluation over the worker pool and feeds every
-// outcome to sink on the calling goroutine. sink returning false cancels
-// the remaining work (outcomes already in flight are discarded without
-// reaching sink, so early exits undercount stats by design). Returns ctx's
-// error when the context ends the run, nil otherwise. Cancellation is
-// observed between balls; a ball evaluation already underway runs to
-// completion.
+// evalCenters fans ball evaluation over the internal/exec pool and feeds
+// every outcome to sink on the calling goroutine. sink returning false
+// cancels the remaining work (outcomes already in flight are discarded
+// without reaching sink, so early exits undercount stats by design). Returns
+// ctx's error when the context ends the run — even when the sink stopped it
+// first (a stream consumer aborting on ctx.Done stops via the sink; its
+// callers must still see the context error) — and nil for a sink stop with a
+// live context, the Limit early exit. Cancellation is observed between
+// balls; a ball evaluation already underway runs to completion.
 func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, sink func(ballOutcome) bool) error {
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	tasks := make(chan int)
-	results := make(chan ballOutcome, e.workers)
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pos := range tasks {
-				center := p.centers[pos]
-				ball := e.snap.Ball(center, p.radius)
-				ps, stats := core.EvalPreparedBallWith(p.qEff, ball, center, coreOpts, p.global)
-				select {
-				case results <- ballOutcome{pos: pos, ps: ps, stats: stats}:
-				case <-runCtx.Done():
-					return
-				}
-			}
-		}()
-	}
-	go func() {
-		defer close(tasks)
-		for pos := range p.centers {
-			select {
-			case tasks <- pos:
-			case <-runCtx.Done():
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	stopped := false
-	for out := range results {
-		if stopped {
-			continue // draining after sink asked to stop
-		}
-		if !sink(out) {
-			stopped = true
-			cancel()
-		}
-	}
-	// A cancelled or expired caller context always surfaces, even when the
-	// sink stopped the run first (a stream consumer aborting on ctx.Done
-	// stops via the sink; its callers must still see the context error).
-	// A sink stop with a live context — the Limit early exit — reports nil.
-	return ctx.Err()
+	return exec.Run(ctx, exec.Options{Workers: e.workers}, len(p.centers),
+		func(s *exec.Scratch, pos int) ballOutcome {
+			center := p.centers[pos]
+			ball := e.snap.BallIn(&s.Balls, center, p.radius)
+			ps, stats := core.EvalPreparedBallIn(p.qEff, ball, center, coreOpts, p.global, &s.Sim)
+			return ballOutcome{pos: pos, ps: ps, stats: stats}
+		},
+		func(pos int, o ballOutcome) bool { return sink(o) })
 }
 
 // EvalCenters evaluates the plain-Match ball outcome for each listed center

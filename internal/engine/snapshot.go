@@ -1,11 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -75,22 +76,16 @@ func (s *Snapshot) PrepareBalls(radius int) int {
 
 	n := s.g.NumNodes()
 	balls := make([]*graph.Ball, n)
-	var wg sync.WaitGroup
-	next := make(chan int32, runtime.GOMAXPROCS(0))
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for v := range next {
-				balls[v] = graph.NewBall(s.g, v, radius)
-			}
-		}()
-	}
-	for v := int32(0); v < int32(n); v++ {
-		next <- v
-	}
-	close(next)
-	wg.Wait()
+	// Cached balls outlive the build, so they are constructed with NewBall
+	// (owned storage), not into worker scratch; exec supplies the pool.
+	_ = exec.Run(context.Background(), exec.Options{}, n,
+		func(_ *exec.Scratch, pos int) *graph.Ball {
+			return graph.NewBall(s.g, int32(pos), radius)
+		},
+		func(pos int, b *graph.Ball) bool {
+			balls[pos] = b
+			return true
+		})
 
 	s.mu.Lock()
 	if existing := s.balls[radius]; existing == nil {
@@ -124,13 +119,24 @@ func (s *Snapshot) DropBalls(radius int) {
 // across queries and must be treated as read-only, which every evaluator in
 // this repository already does.
 func (s *Snapshot) Ball(center int32, radius int) *graph.Ball {
+	return s.BallIn(nil, center, radius)
+}
+
+// BallIn is Ball with on-the-fly construction routed into bs, the ball
+// provider stage of the exec pipeline: a cache hit returns the shared
+// long-lived ball, a miss builds into the worker's scratch (valid until its
+// next build). A nil bs allocates a fresh ball as NewBall does.
+func (s *Snapshot) BallIn(bs *graph.BallScratch, center int32, radius int) *graph.Ball {
 	s.mu.RLock()
 	cached := s.balls[radius]
 	s.mu.RUnlock()
 	if cached != nil {
 		return cached[center]
 	}
-	return graph.NewBall(s.g, center, radius)
+	if bs == nil {
+		return graph.NewBall(s.g, center, radius)
+	}
+	return bs.Build(s.g, center, radius)
 }
 
 // CandidateCenters returns the data nodes whose label occurs in q — the only

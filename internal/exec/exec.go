@@ -1,0 +1,184 @@
+// Package exec is the one ball-evaluation worker pool of this repository.
+//
+// Strong simulation's data parallelism is "evaluate a ball per candidate
+// center" (paper Section 4.1). Before this package, four independent
+// implementations of that loop existed — core.MatchWith, the engine's
+// evalCenters and batch groups, and the sequential sweeps of incremental,
+// distributed, approx and regexsim — each allocating a fresh ball plus
+// simulation state per center. exec consolidates them: one pool with context
+// cancellation and early exit, driving pluggable per-position evaluators,
+// with a reusable per-worker Scratch so the hot path stops allocating per
+// ball (the auxiliary-structure reuse that GraphMini-style matchers win by).
+//
+// The stages are supplied by the caller as closures over the Scratch:
+//
+//   - a center source is just the position space [0, n) plus whatever slice
+//     the caller indexes (all nodes, candidate centers, dirty centers);
+//   - a ball provider runs inside eval — Scratch.Balls.Build for on-demand
+//     BFS, engine.Snapshot.BallIn for cached balls, or a caller-assembled
+//     ball as in distributed and incremental;
+//   - the evaluator is core.EvalPreparedBallIn (or any other pure function
+//     of the position);
+//   - the sink runs on the calling goroutine, unordered (Run, worker
+//     completion order) or ordered (RunOrdered, ascending position).
+//
+// Sequential runs (Workers == 1) bypass the pool entirely: eval and sink
+// alternate in position order on the calling goroutine, which keeps the
+// paper's complexity experiments deterministic and makes the executor free
+// when there is nothing to parallelize.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/simulation"
+)
+
+// Scratch is the per-worker arena: reusable ball construction buffers and
+// simulation state. Evaluators receive their worker's scratch and may use
+// any part of it; everything built from a scratch is valid only until the
+// same worker's next evaluation.
+type Scratch struct {
+	// Balls builds on-demand balls without per-ball allocation.
+	Balls graph.BallScratch
+	// Sim backs the candidate relation and refiner of one ball evaluation.
+	Sim simulation.Scratch
+}
+
+// Options configure one run.
+type Options struct {
+	// Workers is the number of evaluating goroutines; 0 uses GOMAXPROCS and
+	// 1 runs sequentially (deterministic, in position order, on the calling
+	// goroutine).
+	Workers int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run evaluates positions [0, n) across the pool and feeds every outcome to
+// sink on the calling goroutine, in worker completion order. sink returning
+// false cancels the remaining work; outcomes already in flight are discarded
+// without reaching the sink. Cancellation of ctx is observed between
+// evaluations — an evaluation underway runs to completion. Run returns ctx's
+// error when the context ended the run (even when the sink stopped it
+// first), nil otherwise.
+func Run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, pos int) T, sink func(pos int, v T) bool) error {
+	return run(ctx, opts, n, eval, sink, false)
+}
+
+// RunOrdered is Run with the sink invoked in ascending position order,
+// whatever order workers complete in. Callers whose admission rule depends
+// on arrival order (first-seen dedup, result caps) get sequential semantics
+// at parallel speed; an early exit may leave later positions evaluated but
+// unreported.
+func RunOrdered[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, pos int) T, sink func(pos int, v T) bool) error {
+	return run(ctx, opts, n, eval, sink, true)
+}
+
+type outcome[T any] struct {
+	pos int
+	v   T
+}
+
+func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, pos int) T, sink func(pos int, v T) bool, ordered bool) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := opts.workers(n)
+	if workers == 1 {
+		s := new(Scratch)
+		for pos := 0; pos < n; pos++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !sink(pos, eval(s, pos)) {
+				break
+			}
+		}
+		return ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tasks := make(chan int)
+	results := make(chan outcome[T], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := new(Scratch)
+			for pos := range tasks {
+				select {
+				case results <- outcome[T]{pos: pos, v: eval(s, pos)}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(tasks)
+		for pos := 0; pos < n; pos++ {
+			select {
+			case tasks <- pos:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	stopped := false
+	var pending map[int]T
+	nextPos := 0
+	if ordered {
+		pending = make(map[int]T, workers)
+	}
+	for out := range results {
+		if stopped {
+			continue // draining after the sink asked to stop
+		}
+		if !ordered {
+			if !sink(out.pos, out.v) {
+				stopped = true
+				cancel()
+			}
+			continue
+		}
+		pending[out.pos] = out.v
+		for {
+			v, ok := pending[nextPos]
+			if !ok {
+				break
+			}
+			delete(pending, nextPos)
+			pos := nextPos
+			nextPos++
+			if !sink(pos, v) {
+				stopped = true
+				cancel()
+				break
+			}
+		}
+	}
+	return ctx.Err()
+}

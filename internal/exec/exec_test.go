@@ -1,0 +1,232 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/generator"
+	"repro/internal/graph"
+)
+
+// TestRunSequentialDeterministic: Workers 1 must call eval and sink
+// alternately, in position order, on the calling goroutine.
+func TestRunSequentialDeterministic(t *testing.T) {
+	var trace []string
+	err := exec.Run(context.Background(), exec.Options{Workers: 1}, 4,
+		func(_ *exec.Scratch, pos int) int {
+			trace = append(trace, fmt.Sprintf("eval%d", pos))
+			return pos * 10
+		},
+		func(pos, v int) bool {
+			trace = append(trace, fmt.Sprintf("sink%d=%d", pos, v))
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[eval0 sink0=0 eval1 sink1=10 eval2 sink2=20 eval3 sink3=30]"
+	if got := fmt.Sprint(trace); got != want {
+		t.Fatalf("sequential trace %s, want %s", got, want)
+	}
+}
+
+// TestRunParallelCoversAll: every position is evaluated exactly once and
+// reaches the sink, at any worker count.
+func TestRunParallelCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 2, 3, 16} {
+		const n = 257
+		var evals atomic.Int64
+		seen := make([]bool, n)
+		err := exec.Run(context.Background(), exec.Options{Workers: workers}, n,
+			func(_ *exec.Scratch, pos int) int {
+				evals.Add(1)
+				return pos
+			},
+			func(pos, v int) bool {
+				if v != pos {
+					t.Errorf("workers=%d: sink got (%d,%d)", workers, pos, v)
+				}
+				if seen[pos] {
+					t.Errorf("workers=%d: pos %d delivered twice", workers, pos)
+				}
+				seen[pos] = true
+				return true
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evals.Load() != n {
+			t.Fatalf("workers=%d: %d evals, want %d", workers, evals.Load(), n)
+		}
+		for pos, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: pos %d never delivered", workers, pos)
+			}
+		}
+	}
+}
+
+// TestRunOrderedOrder: the ordered variant must deliver ascending positions
+// whatever order workers finish in.
+func TestRunOrderedOrder(t *testing.T) {
+	const n = 100
+	next := 0
+	err := exec.RunOrdered(context.Background(), exec.Options{Workers: 8}, n,
+		func(_ *exec.Scratch, pos int) int { return pos },
+		func(pos, v int) bool {
+			if pos != next {
+				t.Fatalf("ordered sink saw pos %d, want %d", pos, next)
+			}
+			next++
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("delivered %d, want %d", next, n)
+	}
+}
+
+// TestRunEarlyExit: a sink stop with a live context reports nil and stops
+// feeding the sink.
+func TestRunEarlyExit(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		delivered := 0
+		err := exec.Run(context.Background(), exec.Options{Workers: workers}, 1000,
+			func(_ *exec.Scratch, pos int) int { return pos },
+			func(pos, v int) bool {
+				delivered++
+				return delivered < 5
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if delivered != 5 {
+			t.Fatalf("workers=%d: sink saw %d outcomes after stop, want 5", workers, delivered)
+		}
+	}
+}
+
+// TestRunContextCancel: a dead context surfaces as its error, sequential and
+// parallel alike.
+func TestRunContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		delivered := 0
+		err := exec.Run(ctx, exec.Options{Workers: workers}, 100000,
+			func(_ *exec.Scratch, pos int) int { return pos },
+			func(pos, v int) bool {
+				delivered++
+				if delivered == 3 {
+					cancel()
+				}
+				return true
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err %v, want context.Canceled", workers, err)
+		}
+		if delivered >= 100000 {
+			t.Fatalf("workers=%d: cancellation did not stop the run", workers)
+		}
+	}
+}
+
+// TestRunZeroItems: an empty position space is a no-op.
+func TestRunZeroItems(t *testing.T) {
+	err := exec.Run(context.Background(), exec.Options{}, 0,
+		func(_ *exec.Scratch, pos int) int { t.Fatal("eval called"); return 0 },
+		func(pos, v int) bool { t.Fatal("sink called"); return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// allocWorkload is the medium ball-evaluation workload of the
+// allocation-regression guard and the exec benchmark: a mid-size synthetic
+// graph with the label diversity of the paper's synthetic experiments.
+func allocWorkload() (q, g *graph.Graph) {
+	g = generator.Synthetic(5000, 1.2, 50, 7)
+	q = generator.SamplePattern(g, generator.PatternOptions{Nodes: 6, Alpha: 1.2, Seed: 9})
+	return q, g
+}
+
+// TestBallEvalAllocsPerOp pins allocations per ball evaluation on the
+// scratch path, so the per-worker reuse introduced in PR 5 cannot silently
+// regress. The pre-refactor pipeline paid ~40 allocations per evaluated
+// ball on this workload (fresh BFS map, Builder-built induced subgraph,
+// relation node sets, refiner counter rows); the scratch path must stay
+// under 8 averaged across centers (matching centers still allocate their
+// returned PerfectSubgraph, which is output, not scratch).
+func TestBallEvalAllocsPerOp(t *testing.T) {
+	q, g := allocWorkload()
+	dq, ok := graph.Diameter(q)
+	if !ok {
+		t.Fatal("pattern disconnected")
+	}
+	s := new(exec.Scratch)
+	center := int32(0)
+	evalOne := func() {
+		c := center % int32(g.NumNodes())
+		center += 17
+		if len(q.NodesWithLabel(g.Label(c))) == 0 {
+			return // same precheck as the pipeline: no ball is built
+		}
+		ball := s.Balls.Build(g, c, dq)
+		core.EvalPreparedBallIn(q, ball, c, core.Options{}, nil, &s.Sim)
+	}
+	// Warm the arenas first: the guard pins steady state, not cold start.
+	for i := 0; i < 300; i++ {
+		evalOne()
+	}
+	allocs := testing.AllocsPerRun(500, evalOne)
+	if allocs > 8 {
+		t.Fatalf("ball evaluation allocates %.2f times per center; the scratch path must stay under 8", allocs)
+	}
+	t.Logf("ball evaluation: %.2f allocs per center", allocs)
+}
+
+// TestExecMatchesCoreGolden cross-checks the executor end to end: MatchCtx
+// through the pool at several widths must reproduce MatchWith exactly (the
+// byte-level pin lives in core's golden test).
+func TestExecMatchesCoreGolden(t *testing.T) {
+	q, g := func() (*graph.Graph, *graph.Graph) {
+		g := generator.Synthetic(600, 1.3, 12, 3)
+		return generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: 1.2, Seed: 5}), g
+	}()
+	want, err := core.MatchWith(q, g, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 7} {
+		got, err := core.MatchCtx(context.Background(), q, g, core.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Subgraphs) != len(want.Subgraphs) || got.Stats != want.Stats {
+			t.Fatalf("workers=%d diverged: %d vs %d subgraphs, stats %+v vs %+v",
+				workers, len(got.Subgraphs), len(want.Subgraphs), got.Stats, want.Stats)
+		}
+		for i := range want.Subgraphs {
+			if want.Subgraphs[i].Signature() != got.Subgraphs[i].Signature() {
+				t.Fatalf("workers=%d: subgraph %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestMatchCtxCancellation: the satellite requirement — library callers get
+// cancellation without going through the engine.
+func TestMatchCtxCancellation(t *testing.T) {
+	q, g := allocWorkload()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.MatchCtx(ctx, q, g, core.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled MatchCtx returned %v, want context.Canceled", err)
+	}
+}

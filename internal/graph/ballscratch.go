@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math"
+	"slices"
+)
+
+// BallScratch builds balls into reusable storage, so a worker evaluating
+// thousands of balls stops paying one BFS map, one Builder and one adjacency
+// allocation spree per center. The zero value is ready to use; a scratch is
+// NOT safe for concurrent use — give each worker its own (internal/exec does
+// exactly that).
+//
+// The Ball returned by Build, including its induced Graph and every slice
+// reachable from it, is owned by the scratch and valid only until the next
+// Build call on the same scratch. Callers that need to retain a ball (the
+// engine's snapshot cache) must use NewBall instead; evaluators that consume
+// the ball and copy their findings out (core.EvalPreparedBallWith and
+// everything on top of it) can run on scratch balls unchanged.
+type BallScratch struct {
+	// Epoch-stamped visit marks over the parent graph: seenAt[v] == epoch
+	// means v was reached in the current build, so resets are O(1) instead of
+	// O(|V|).
+	seenAt []int32
+	epoch  int32
+	// distOf[v] is v's BFS distance in the current build; only read for
+	// members, so it needs no clearing between builds.
+	distOf []int32
+
+	members  []int32
+	frontier []int32
+	next     []int32
+
+	// Reused ball storage.
+	ball     Ball
+	sub      Graph
+	nodeLbl  []int32
+	outHdr   [][]int32
+	inHdr    [][]int32
+	outArena []int32
+	inArena  []int32
+	byLabel  map[int32][]int32
+	lblCount map[int32]int32
+	lblArena []int32
+	toBall   map[int32]int32
+	orig     []int32
+	dist     []int32
+}
+
+// grow ensures the per-parent-node stamp slices cover g.
+func (s *BallScratch) grow(n int) {
+	if len(s.seenAt) < n {
+		s.seenAt = make([]int32, n)
+		s.distOf = make([]int32, n)
+		s.epoch = 0
+	}
+	if s.toBall == nil {
+		s.toBall = make(map[int32]int32)
+		s.byLabel = make(map[int32][]int32)
+		s.lblCount = make(map[int32]int32)
+	}
+	if s.epoch == math.MaxInt32 {
+		for i := range s.seenAt {
+			s.seenAt[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+}
+
+// Build constructs Ĝ[center, radius] into the scratch and returns it. The
+// result is identical to NewBall(g, center, radius) in every observable way;
+// only the storage lifetime differs (see the type comment).
+func (s *BallScratch) Build(g *Graph, center int32, radius int) *Ball {
+	s.grow(g.NumNodes())
+
+	// Undirected BFS, reusing the stamp slices and frontier buffers.
+	s.members = append(s.members[:0], center)
+	s.frontier = append(s.frontier[:0], center)
+	s.seenAt[center] = s.epoch
+	s.distOf[center] = 0
+	for d := int32(1); int(d) <= radius && len(s.frontier) > 0; d++ {
+		s.next = s.next[:0]
+		for _, v := range s.frontier {
+			for _, w := range g.out[v] {
+				if s.seenAt[w] != s.epoch {
+					s.seenAt[w] = s.epoch
+					s.distOf[w] = d
+					s.next = append(s.next, w)
+					s.members = append(s.members, w)
+				}
+			}
+			for _, w := range g.in[v] {
+				if s.seenAt[w] != s.epoch {
+					s.seenAt[w] = s.epoch
+					s.distOf[w] = d
+					s.next = append(s.next, w)
+					s.members = append(s.members, w)
+				}
+			}
+		}
+		s.frontier, s.next = s.next, s.frontier
+	}
+	slices.Sort(s.members)
+
+	// Re-index: ascending parent ids map to ascending ball ids, so the
+	// translated adjacency below stays sorted without re-sorting.
+	n := len(s.members)
+	s.orig = append(s.orig[:0], s.members...)
+	s.dist = s.dist[:0]
+	s.nodeLbl = s.nodeLbl[:0]
+	clear(s.toBall)
+	for i, v := range s.orig {
+		s.toBall[v] = int32(i)
+		s.dist = append(s.dist, s.distOf[v])
+		s.nodeLbl = append(s.nodeLbl, g.nodeLbl[v])
+	}
+
+	// Induced adjacency into shared arenas. Growth mid-build leaves earlier
+	// headers pointing at the old backing array, which still holds their
+	// data — only ever read, never appended to again.
+	s.outHdr = s.outHdr[:0]
+	s.inHdr = s.inHdr[:0]
+	s.outArena = s.outArena[:0]
+	s.inArena = s.inArena[:0]
+	for _, v := range s.orig {
+		start := len(s.outArena)
+		for _, w := range g.out[v] {
+			if nw, ok := s.toBall[w]; ok {
+				s.outArena = append(s.outArena, nw)
+			}
+		}
+		s.outHdr = append(s.outHdr, s.outArena[start:len(s.outArena):len(s.outArena)])
+	}
+	numEdges := len(s.outArena)
+	for _, v := range s.orig {
+		start := len(s.inArena)
+		for _, w := range g.in[v] {
+			if nw, ok := s.toBall[w]; ok {
+				s.inArena = append(s.inArena, nw)
+			}
+		}
+		s.inHdr = append(s.inHdr, s.inArena[start:len(s.inArena):len(s.inArena)])
+	}
+
+	// Label index: count, carve one arena, then fill. Appends stay inside
+	// each carved window because capacities are exact.
+	clear(s.byLabel)
+	clear(s.lblCount)
+	for _, lbl := range s.nodeLbl {
+		s.lblCount[lbl]++
+	}
+	if cap(s.lblArena) < n {
+		s.lblArena = make([]int32, n)
+	}
+	off := int32(0)
+	for lbl, c := range s.lblCount {
+		s.byLabel[lbl] = s.lblArena[off : off : off+c]
+		off += c
+	}
+	for i, lbl := range s.nodeLbl {
+		s.byLabel[lbl] = append(s.byLabel[lbl], int32(i))
+	}
+
+	s.sub = Graph{
+		labels:   g.labels,
+		nodeLbl:  s.nodeLbl,
+		out:      s.outHdr,
+		in:       s.inHdr,
+		numEdges: numEdges,
+		byLabel:  s.byLabel,
+	}
+	s.ball = Ball{
+		G:      &s.sub,
+		Center: s.toBall[center],
+		Radius: radius,
+		Orig:   s.orig,
+		Dist:   s.dist,
+		toBall: s.toBall,
+	}
+	return &s.ball
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a deterministic random graph for scratch stress tests.
+func randomGraph(n, edges int, labels int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(nil)
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("L%d", rng.Intn(labels)))
+	}
+	for i := 0; i < edges; i++ {
+		_ = b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func sameBall(t *testing.T, want, got *Ball, ctx string) {
+	t.Helper()
+	if want.Center != got.Center || want.Radius != got.Radius {
+		t.Fatalf("%s: center/radius (%d,%d) vs (%d,%d)", ctx, want.Center, want.Radius, got.Center, got.Radius)
+	}
+	if len(want.Orig) != len(got.Orig) {
+		t.Fatalf("%s: |ball| %d vs %d", ctx, len(want.Orig), len(got.Orig))
+	}
+	for i := range want.Orig {
+		if want.Orig[i] != got.Orig[i] || want.Dist[i] != got.Dist[i] {
+			t.Fatalf("%s: node %d orig/dist (%d,%d) vs (%d,%d)", ctx, i,
+				want.Orig[i], want.Dist[i], got.Orig[i], got.Dist[i])
+		}
+	}
+	wg, gg := want.G, got.G
+	if wg.NumNodes() != gg.NumNodes() || wg.NumEdges() != gg.NumEdges() {
+		t.Fatalf("%s: induced sizes (%d,%d) vs (%d,%d)", ctx,
+			wg.NumNodes(), wg.NumEdges(), gg.NumNodes(), gg.NumEdges())
+	}
+	for v := int32(0); v < int32(wg.NumNodes()); v++ {
+		if wg.Label(v) != gg.Label(v) {
+			t.Fatalf("%s: label of %d differs", ctx, v)
+		}
+		if fmt.Sprint(wg.Out(v)) != fmt.Sprint(gg.Out(v)) {
+			t.Fatalf("%s: out(%d) %v vs %v", ctx, v, wg.Out(v), gg.Out(v))
+		}
+		if fmt.Sprint(wg.In(v)) != fmt.Sprint(gg.In(v)) {
+			t.Fatalf("%s: in(%d) %v vs %v", ctx, v, wg.In(v), gg.In(v))
+		}
+	}
+	for _, v := range want.Orig {
+		if want.ToBall(v) != got.ToBall(v) {
+			t.Fatalf("%s: ToBall(%d) %d vs %d", ctx, v, want.ToBall(v), got.ToBall(v))
+		}
+	}
+	if want.ToBall(int32(1e6)) != got.ToBall(int32(1e6)) {
+		t.Fatalf("%s: ToBall miss behavior differs", ctx)
+	}
+	if fmt.Sprint(want.BorderNodes()) != fmt.Sprint(got.BorderNodes()) {
+		t.Fatalf("%s: border %v vs %v", ctx, want.BorderNodes(), got.BorderNodes())
+	}
+	// The label index must agree too: every label of the induced graph maps
+	// to the same node list.
+	for v := int32(0); v < int32(wg.NumNodes()); v++ {
+		lbl := wg.Label(v)
+		if fmt.Sprint(wg.NodesWithLabel(lbl)) != fmt.Sprint(gg.NodesWithLabel(lbl)) {
+			t.Fatalf("%s: byLabel(%d) %v vs %v", ctx, lbl,
+				wg.NodesWithLabel(lbl), gg.NodesWithLabel(lbl))
+		}
+	}
+}
+
+// TestBallScratchMatchesNewBall reuses one scratch across many centers,
+// radii and graphs and demands every build be observably identical to a
+// fresh NewBall — the property the whole exec pipeline rests on.
+func TestBallScratchMatchesNewBall(t *testing.T) {
+	var s BallScratch
+	for _, tc := range []struct{ n, e, labels int }{
+		{1, 0, 1}, {30, 25, 3}, {200, 600, 5}, {120, 80, 2},
+	} {
+		g := randomGraph(tc.n, tc.e, tc.labels, int64(tc.n)*7+int64(tc.e))
+		for radius := 0; radius <= 4; radius++ {
+			for center := int32(0); center < int32(g.NumNodes()); center += 7 {
+				want := NewBall(g, center, radius)
+				got := s.Build(g, center, radius)
+				sameBall(t, want, got, fmt.Sprintf("n=%d e=%d r=%d c=%d", tc.n, tc.e, radius, center))
+			}
+		}
+	}
+}
+
+// TestBallScratchSelfLoopAndDense covers self-loops and a clique, where the
+// induced adjacency arenas see maximum pressure.
+func TestBallScratchSelfLoopAndDense(t *testing.T) {
+	b := NewBuilder(nil)
+	for i := 0; i < 12; i++ {
+		b.AddNode("X")
+	}
+	for i := int32(0); i < 12; i++ {
+		for j := int32(0); j < 12; j++ {
+			_ = b.AddEdge(i, j) // includes self-loops
+		}
+	}
+	g := b.Build()
+	var s BallScratch
+	for center := int32(0); center < 12; center++ {
+		sameBall(t, NewBall(g, center, 2), s.Build(g, center, 2), fmt.Sprintf("clique c=%d", center))
+	}
+}
+
+// TestBallScratchSteadyStateAllocs verifies the point of the scratch: after
+// warm-up, rebuilding balls of similar size allocates nothing.
+func TestBallScratchSteadyStateAllocs(t *testing.T) {
+	g := randomGraph(500, 1200, 4, 11)
+	var s BallScratch
+	center := int32(0)
+	s.Build(g, center, 3) // warm the arenas
+	allocs := testing.AllocsPerRun(50, func() {
+		center = (center + 13) % int32(g.NumNodes())
+		s.Build(g, center, 3)
+	})
+	// Map growth may still trigger the odd allocation when a much larger
+	// ball arrives; steady state must stay essentially allocation-free.
+	if allocs > 2 {
+		t.Fatalf("scratch ball build allocates %.1f times per ball; want ~0", allocs)
+	}
+}

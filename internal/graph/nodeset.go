@@ -71,6 +71,22 @@ func (s *NodeSet) Clear() {
 	s.count = 0
 }
 
+// Reset empties s and re-bounds its capacity, reusing the existing backing
+// storage when it suffices. Scratch-based evaluators (internal/exec) reset
+// pooled sets per ball instead of allocating fresh ones.
+func (s *NodeSet) Reset(capacity int) {
+	n := (capacity + 63) / 64
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+	} else {
+		s.words = s.words[:n]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.count = 0
+}
+
 // Equal reports whether s and t contain exactly the same nodes.
 func (s *NodeSet) Equal(t *NodeSet) bool {
 	if s.count != t.count {

@@ -12,11 +12,14 @@
 package incremental
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/simulation"
 )
 
 // Matcher owns a mutable data graph and the per-center match state for one
@@ -59,11 +62,28 @@ func New(q, g *graph.Graph) (*Matcher, error) {
 		m.out[u][v] = struct{}{}
 		m.in[v][u] = struct{}{}
 	})
-	for v := int32(0); v < int32(len(m.nodeLbl)); v++ {
-		m.perCenter[v] = m.evalCenter(v)
+	centers := make([]int32, len(m.nodeLbl))
+	for v := range centers {
+		centers[v] = int32(v)
 	}
+	m.evalCenters(centers)
 	m.lastRecomputed = len(m.nodeLbl)
 	return m, nil
+}
+
+// evalCenters re-evaluates the listed centers on the exec pool (the mutable
+// adjacency is read-only for the duration) and installs the outcomes. Each
+// center's result is independent of evaluation order, so parallel and
+// sequential runs are interchangeable.
+func (m *Matcher) evalCenters(centers []int32) {
+	_ = exec.Run(context.Background(), exec.Options{}, len(centers),
+		func(s *exec.Scratch, pos int) *core.PerfectSubgraph {
+			return m.evalCenter(centers[pos], s)
+		},
+		func(pos int, ps *core.PerfectSubgraph) bool {
+			m.perCenter[centers[pos]] = ps
+			return true
+		})
 }
 
 // AddNode appends an isolated node with the given label and returns its id.
@@ -71,7 +91,7 @@ func New(q, g *graph.Graph) (*Matcher, error) {
 // it); existing balls cannot be affected by an isolated node.
 func (m *Matcher) AddNode(label string) int32 {
 	v := m.addNode(m.labels.Intern(label))
-	m.perCenter[v] = m.evalCenter(v)
+	m.perCenter[v] = m.evalCenter(v, nil)
 	m.lastRecomputed = 1
 	return v
 }
@@ -196,14 +216,19 @@ func DirtyWithin(start int32, radius int, neighbors Neighbors, dirty map[int32]b
 
 func (m *Matcher) recompute(affected map[int32]bool) {
 	m.lastRecomputed = len(affected)
+	centers := make([]int32, 0, len(affected))
 	for w := range affected {
-		m.perCenter[w] = m.evalCenter(w)
+		centers = append(centers, w)
 	}
+	sort.Slice(centers, func(i, j int) bool { return centers[i] < centers[j] })
+	m.evalCenters(centers)
 }
 
 // evalCenter rebuilds the ball around one center from the mutable adjacency
-// and evaluates it through the same code path as centralized Match.
-func (m *Matcher) evalCenter(center int32) *core.PerfectSubgraph {
+// (a caller-assembled ball, like the distributed evaluator's) and evaluates
+// it through the same code path as centralized Match. s may be nil for
+// one-off evaluations outside the pool.
+func (m *Matcher) evalCenter(center int32, s *exec.Scratch) *core.PerfectSubgraph {
 	if len(m.q.NodesWithLabel(m.nodeLbl[center])) == 0 {
 		return nil
 	}
@@ -253,7 +278,11 @@ func (m *Matcher) evalCenter(center int32) *core.PerfectSubgraph {
 		dists[toNew[v]] = d
 	}
 	ball := graph.AssembleBall(b.Build(), toNew[center], m.radius, members, dists)
-	ps, _ := core.EvalPreparedBall(m.q, ball, center)
+	var sim *simulation.Scratch
+	if s != nil {
+		sim = &s.Sim
+	}
+	ps, _ := core.EvalPreparedBallIn(m.q, ball, center, core.Options{}, nil, sim)
 	return ps
 }
 

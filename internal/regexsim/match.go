@@ -1,8 +1,11 @@
 package regexsim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/simulation"
 )
@@ -16,6 +19,11 @@ type Pattern struct {
 	// edges, keeping evaluation polynomial on cyclic expressions
 	// (default 6; unconstrained '...*' expressions explore up to this).
 	MaxPathLen int
+	// Workers is the number of goroutines precomputing constrained
+	// reachability on the internal/exec pool; 0 uses GOMAXPROCS, 1 runs
+	// sequentially. Reachability is a pure function of (edge, start node),
+	// so the width never changes the relation Match returns.
+	Workers int
 }
 
 // NewPattern wraps a pattern graph with all-plain edges.
@@ -107,14 +115,68 @@ func Match(p *Pattern, g *graph.Graph) (simulation.Relation, bool) {
 	q := p.Q
 	rel := simulation.InitByLabel(q, g)
 
-	// Cache constrained reachability per (expression edge, data node).
-	reach := make(map[[2]int32]map[int32]*graph.NodeSet)
-	reachOf := func(e [2]int32, v int32) *graph.NodeSet {
-		m, ok := reach[e]
-		if !ok {
-			m = make(map[int32]*graph.NodeSet)
-			reach[e] = m
+	// Cache constrained reachability per (expression edge, data node) —
+	// each entry is a pure function of (edge, start). With parallelism
+	// available, the sweeps the first fixpoint round is about to demand are
+	// precomputed on the exec pool, so the per-node BFS (the dominant cost
+	// on cyclic expressions) runs concurrently instead of lazily one by one.
+	// Only the first constrained out-edge of candidates that survive the
+	// preceding plain-edge checks is precomputed — the sweeps round one must
+	// pay under its own short-circuit order — so candidates the cheaper
+	// conditions prune never get a speculative sweep; edges past the first
+	// constrained one (reached only if its sweep succeeds) stay lazy.
+	// Sequential runs keep the all-lazy cache.
+	reach := make(map[[2]int32]map[int32]*graph.NodeSet, len(p.exprs))
+	for e := range p.exprs {
+		reach[e] = make(map[int32]*graph.NodeSet)
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && len(p.exprs) > 0 {
+		type reachJob struct {
+			e [2]int32
+			v int32
 		}
+		var jobs []reachJob
+		for u := int32(0); u < int32(q.NumNodes()); u++ {
+			outs := q.Out(u)
+			rel[u].ForEach(func(v int32) {
+				for _, uc := range outs {
+					e := [2]int32{u, uc}
+					if p.exprs[e] == nil {
+						// The same plain-edge check satisfied() performs:
+						// a failure here kills v before any sweep runs.
+						ok := false
+						for _, w := range g.Out(v) {
+							if rel[uc].Contains(w) {
+								ok = true
+								break
+							}
+						}
+						if !ok {
+							return
+						}
+						continue
+					}
+					jobs = append(jobs, reachJob{e: e, v: v})
+					return
+				}
+			})
+		}
+		_ = exec.Run(context.Background(), exec.Options{Workers: workers}, len(jobs),
+			func(_ *exec.Scratch, pos int) *graph.NodeSet {
+				j := jobs[pos]
+				return reachable(g, j.v, p.exprs[j.e], p.MaxPathLen)
+			},
+			func(pos int, s *graph.NodeSet) bool {
+				reach[jobs[pos].e][jobs[pos].v] = s
+				return true
+			})
+	}
+	reachOf := func(e [2]int32, v int32) *graph.NodeSet {
+		m := reach[e]
 		if s, ok := m[v]; ok {
 			return s
 		}

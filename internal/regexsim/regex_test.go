@@ -245,3 +245,64 @@ func wildcardBound(k int) string {
 	}
 	return ".{0," + string(rune('0'+k-1)) + "}"
 }
+
+// TestQuickWorkersInvariant: the relation Match returns is identical at any
+// worker width. Workers > 1 takes the parallel reachability-precompute path
+// regardless of GOMAXPROCS, so this pins it against the sequential lazy
+// sweep on patterns mixing plain and constrained edges.
+func TestQuickWorkersInvariant(t *testing.T) {
+	exprs := []string{"A B", "(A|B)*", ".{0,2}", "B* A"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		labels := graph.NewLabels()
+		qb := graph.NewBuilder(labels)
+		nq := 2 + rng.Intn(4)
+		for i := 0; i < nq; i++ {
+			qb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		type qedge struct{ u, v int32 }
+		var qedges []qedge
+		for i := 1; i < nq; i++ {
+			p := int32(rng.Intn(i))
+			if rng.Intn(2) == 0 {
+				_ = qb.AddEdge(p, int32(i))
+				qedges = append(qedges, qedge{p, int32(i)})
+			} else {
+				_ = qb.AddEdge(int32(i), p)
+				qedges = append(qedges, qedge{int32(i), p})
+			}
+		}
+		q := qb.Build()
+		gb := graph.NewBuilder(labels)
+		n := 5 + rng.Intn(25)
+		for i := 0; i < n; i++ {
+			gb.AddNode(string(rune('A' + rng.Intn(3))))
+		}
+		for i := 0; i < n*2; i++ {
+			_ = gb.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := gb.Build()
+
+		seq := NewPattern(q)
+		par := NewPattern(q)
+		par.Workers = 4
+		for _, e := range qedges {
+			if rng.Intn(2) == 0 {
+				continue // leave plain
+			}
+			expr := exprs[rng.Intn(len(exprs))]
+			if err := seq.SetExpr(e.u, e.v, expr); err != nil {
+				return false
+			}
+			if err := par.SetExpr(e.u, e.v, expr); err != nil {
+				return false
+			}
+		}
+		sRel, sOK := Match(seq, g)
+		pRel, pOK := Match(par, g)
+		return sOK == pOK && sRel.Equal(pRel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -44,11 +44,26 @@ type Refiner struct {
 // maximum simulation (per mode) contained in rel. rel must not be mutated
 // by the caller while the refiner is alive.
 func NewRefiner(q, g *graph.Graph, rel Relation, mode Mode) *Refiner {
-	r := &Refiner{q: q, g: g, mode: mode, rel: rel}
+	return NewRefinerIn(q, g, rel, mode, nil)
+}
+
+// NewRefinerIn is NewRefiner with the counter matrices and worklists carved
+// out of sc instead of freshly allocated. The returned refiner is owned by
+// the scratch (valid until its next evaluation cycle); a nil sc allocates as
+// NewRefiner does.
+func NewRefinerIn(q, g *graph.Graph, rel Relation, mode Mode, sc *Scratch) *Refiner {
+	var r *Refiner
+	if sc != nil {
+		sc.refiner.q, sc.refiner.g, sc.refiner.mode, sc.refiner.rel = q, g, mode, rel
+		sc.refiner.queue = sc.refiner.queue[:0]
+		sc.refiner.removed = sc.refiner.removed[:0]
+		r = &sc.refiner
+	} else {
+		r = &Refiner{q: q, g: g, mode: mode, rel: rel}
+	}
 	nq, ng := q.NumNodes(), g.NumNodes()
-	r.cntSucc = make([][]int32, nq)
+	r.cntSucc, r.cntPred = sc.counters(nq, ng, mode == ChildParent)
 	for u := 0; u < nq; u++ {
-		r.cntSucc[u] = make([]int32, ng)
 		rel[u].ForEach(func(v int32) {
 			for _, w := range g.In(v) {
 				r.cntSucc[u][w]++
@@ -56,9 +71,7 @@ func NewRefiner(q, g *graph.Graph, rel Relation, mode Mode) *Refiner {
 		})
 	}
 	if mode == ChildParent {
-		r.cntPred = make([][]int32, nq)
 		for u := 0; u < nq; u++ {
-			r.cntPred[u] = make([]int32, ng)
 			rel[u].ForEach(func(v int32) {
 				for _, w := range g.Out(v) {
 					r.cntPred[u][w]++

@@ -1,0 +1,115 @@
+package simulation
+
+import "repro/internal/graph"
+
+// Scratch holds the reusable allocations of one ball-evaluation worker: the
+// candidate relation's node sets, the refiner's counter arenas and worklists,
+// and a small rotation of spare node sets for pruning. A scratch is NOT safe
+// for concurrent use — internal/exec gives each worker its own.
+//
+// Everything handed out by a scratch (the Relation from Relation or
+// InitByLabelIn, the Refiner from NewRefinerIn, spare sets) is owned by it
+// and valid only until the next Relation/InitByLabelIn call, which begins
+// the next evaluation cycle. All entry points accept a nil *Scratch and then
+// allocate fresh state, so one code path serves both the pooled hot loop and
+// one-shot callers.
+type Scratch struct {
+	rel      Relation
+	spare    []*graph.NodeSet
+	spareLen int
+
+	refiner  Refiner
+	cntArena []int32
+	cntSucc  [][]int32
+	cntPred  [][]int32
+}
+
+// Relation returns an all-empty relation for nq pattern nodes over capacity
+// data nodes, reusing pooled sets. It also begins a new evaluation cycle:
+// spare sets handed out earlier are considered free again.
+func (s *Scratch) Relation(nq, capacity int) Relation {
+	if s == nil {
+		return NewRelation(nq, capacity)
+	}
+	s.spareLen = 0
+	for len(s.rel) < nq {
+		s.rel = append(s.rel, graph.NewNodeSet(0))
+	}
+	rel := s.rel[:nq]
+	for _, set := range rel {
+		set.Reset(capacity)
+	}
+	return rel
+}
+
+// SpareSet returns an empty set with the given capacity from the scratch's
+// rotation (connectivity pruning needs two per ball). Sets stay valid until
+// the next Relation call.
+func (s *Scratch) SpareSet(capacity int) *graph.NodeSet {
+	if s == nil {
+		return graph.NewNodeSet(capacity)
+	}
+	if s.spareLen == len(s.spare) {
+		s.spare = append(s.spare, graph.NewNodeSet(0))
+	}
+	set := s.spare[s.spareLen]
+	s.spareLen++
+	set.Reset(capacity)
+	return set
+}
+
+// InitByLabelIn is InitByLabel into scratch-owned storage.
+func InitByLabelIn(q, g *graph.Graph, s *Scratch) Relation {
+	rel := s.Relation(q.NumNodes(), g.NumNodes())
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		for _, v := range g.NodesWithLabel(q.Label(u)) {
+			rel[u].Add(v)
+		}
+	}
+	return rel
+}
+
+// counters carves the per-(pattern node, data node) counter matrices out of
+// the scratch arena (one flat allocation, zeroed per evaluation) or, with a
+// nil scratch, out of a fresh one.
+func (s *Scratch) counters(nq, ng int, pred bool) (cntSucc, cntPred [][]int32) {
+	need := nq * ng
+	if pred {
+		need *= 2
+	}
+	var arena []int32
+	if s == nil {
+		arena = make([]int32, need)
+	} else {
+		if cap(s.cntArena) < need {
+			s.cntArena = make([]int32, need)
+		}
+		arena = s.cntArena[:need]
+		for i := range arena {
+			arena[i] = 0
+		}
+	}
+	carve := func(hdr [][]int32, off int) ([][]int32, int) {
+		hdr = hdr[:0]
+		for u := 0; u < nq; u++ {
+			hdr = append(hdr, arena[off:off+ng:off+ng])
+			off += ng
+		}
+		return hdr, off
+	}
+	var off int
+	if s == nil {
+		cntSucc, off = carve(nil, 0)
+		if pred {
+			cntPred, _ = carve(nil, off)
+		}
+		return cntSucc, cntPred
+	}
+	s.cntSucc, off = carve(s.cntSucc, 0)
+	cntSucc = s.cntSucc
+	if pred {
+		s.cntPred, _ = carve(s.cntPred, off)
+		cntPred = s.cntPred
+	}
+	return cntSucc, cntPred
+}
