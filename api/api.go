@@ -10,11 +10,17 @@
 //	NewServer(engine, cfg)      read-only deployment over one prepared engine
 //	NewLiveServer(store, cfg)   mutable deployment over a live store
 //
-// Both mount the same /v1 endpoints (match, match/stream, graph, healthz;
-// the live variant adds update and queries) plus the pre-/v1 unversioned
-// routes as thin deprecated aliases that answer identically and emit a
-// Deprecation header. See API.md at the repository root for the endpoint
-// reference, and package client for the typed Go SDK.
+// Both mount the same /v1 endpoints (match, match/stream, graph, healthz,
+// metrics; the live variant adds update and queries) plus the pre-/v1
+// unversioned routes as thin deprecated aliases that answer identically and
+// emit a Deprecation header. Every route runs through one middleware
+// (metrics.go): request ids accepted or generated and echoed as
+// X-Request-Id, per-endpoint counters and latency histograms in the
+// process-wide internal/obs registry (rendered by GET /v1/metrics), panic
+// recovery into a structured 500, and an optional structured access log
+// (Config.AccessLog). QuerySpec's "stats" flag opts one query into a
+// per-stage trace returned as query_stats. See API.md at the repository
+// root for the endpoint reference, and package client for the typed Go SDK.
 package api
 
 // Version is the current wire-protocol version; every versioned route is

@@ -36,6 +36,10 @@ const (
 	// CodeUnavailable: the response could not be produced for reasons
 	// outside the request (used by clients for undecodable error bodies).
 	CodeUnavailable = "unavailable"
+	// CodeInternal: a handler panicked; the recovery middleware counted it
+	// and answered this instead of dropping the connection. The message
+	// carries the request id for log correlation, never the panic value.
+	CodeInternal = "internal"
 )
 
 // Error is the wire form of every failure: a machine-readable code and a

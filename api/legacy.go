@@ -54,10 +54,13 @@ type LegacyRegisterRequest struct {
 	Pattern string `json:"pattern"`
 }
 
-// legacyRoutes mounts the unversioned aliases next to the /v1 tree.
+// legacyRoutes mounts the unversioned aliases next to the /v1 tree. They
+// pass through the same instrumentation middleware as their successors, so
+// remaining legacy traffic shows up in /v1/metrics under its own endpoint
+// label and in the access log.
 func (s *server) legacyRoutes(rt *router) {
 	alias := func(method, path, successor string, h http.HandlerFunc) {
-		rt.handle(method, path, deprecated(successor, h))
+		rt.handle(method, path, s.instrument(method, path, deprecated(successor, h)))
 	}
 	alias("GET", "/healthz", Prefix+"/healthz", s.handleHealth)
 	alias("GET", "/graph", Prefix+"/graph", s.handleGraph)

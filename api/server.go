@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -12,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // Config tunes the HTTP front end. Zero values take the defaults noted on
@@ -25,6 +29,15 @@ type Config struct {
 	// MaxBodyBytes caps the request body (default 8 MiB); larger bodies
 	// answer 413 body_too_large.
 	MaxBodyBytes int64
+	// AccessLog, when set, receives one structured line per request (method,
+	// path, status, bytes, duration, request id, plus handler annotations
+	// like match counts and stream outcomes). nil disables access logging;
+	// metrics are collected either way.
+	AccessLog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and belong on operator-facing
+	// listeners only.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -53,7 +66,8 @@ func NewServer(e *engine.Engine, cfg Config) http.Handler {
 // while in-flight requests keep the consistent view they started with. The
 // provider must be safe for concurrent use and must never return nil.
 func NewDynamicServer(provider func() *engine.Engine, cfg Config) http.Handler {
-	s := &server{engine: provider, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &server{engine: provider, cfg: cfg, log: cfg.AccessLog}
 	return s.routes()
 }
 
@@ -61,7 +75,8 @@ func NewDynamicServer(provider func() *engine.Engine, cfg Config) http.Handler {
 // the read-only endpoints (answered against the latest published version)
 // plus /v1/update and the /v1/queries standing-query tree.
 func NewLiveServer(st *live.Store, cfg Config) http.Handler {
-	s := &server{engine: st.Engine, store: st, cfg: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	s := &server{engine: st.Engine, store: st, cfg: cfg, log: cfg.AccessLog}
 	return s.routes()
 }
 
@@ -69,26 +84,40 @@ type server struct {
 	engine func() *engine.Engine
 	store  *live.Store // nil on read-only deployments
 	cfg    Config
+	log    *slog.Logger // nil disables access logging
 }
 
 // routes builds the unified route tree: the /v1 endpoints plus the
-// unversioned legacy aliases (see legacy.go).
+// unversioned legacy aliases (see legacy.go). Every route passes through
+// the instrumentation middleware (metrics.go); /debug/pprof does not.
 func (s *server) routes() http.Handler {
+	registerProcessMetrics()
 	rt := newRouter()
-	rt.handle("GET", Prefix+"/healthz", s.handleHealth)
-	rt.handle("GET", Prefix+"/graph", s.handleGraph)
-	rt.handle("POST", Prefix+"/match", s.handleMatch)
-	rt.handle("POST", Prefix+"/match/stream", s.handleMatchStream)
+	s.route(rt, "GET", Prefix+"/healthz", s.handleHealth)
+	s.route(rt, "GET", Prefix+"/graph", s.handleGraph)
+	s.route(rt, "GET", Prefix+"/metrics", s.handleMetrics)
+	s.route(rt, "POST", Prefix+"/match", s.handleMatch)
+	s.route(rt, "POST", Prefix+"/match/stream", s.handleMatchStream)
 	if s.store != nil {
-		rt.handle("POST", Prefix+"/update", s.handleUpdate)
-		rt.handle("POST", Prefix+"/queries", s.handleRegister)
-		rt.handle("GET", Prefix+"/queries", s.handleListQueries)
-		rt.handle("GET", Prefix+"/queries/{id}", s.handleGetQuery)
-		rt.handle("DELETE", Prefix+"/queries/{id}", s.handleUnregister)
-		rt.handle("GET", Prefix+"/queries/{id}/delta", s.handleDelta)
+		s.route(rt, "POST", Prefix+"/update", s.handleUpdate)
+		s.route(rt, "POST", Prefix+"/queries", s.handleRegister)
+		s.route(rt, "GET", Prefix+"/queries", s.handleListQueries)
+		s.route(rt, "GET", Prefix+"/queries/{id}", s.handleGetQuery)
+		s.route(rt, "DELETE", Prefix+"/queries/{id}", s.handleUnregister)
+		s.route(rt, "GET", Prefix+"/queries/{id}/delta", s.handleDelta)
 	}
 	s.legacyRoutes(rt)
+	if s.cfg.EnablePprof {
+		mountPprof(rt)
+	}
 	return rt.build()
+}
+
+// route registers one instrumented endpoint. The route pattern (not the
+// concrete request path) names the endpoint in metrics, keeping label
+// cardinality bounded.
+func (s *server) route(rt *router, method, path string, h http.HandlerFunc) {
+	rt.handle(method, path, s.instrument(method, path, h))
 }
 
 // router groups handlers per path so every route answers wrong methods
@@ -111,6 +140,14 @@ func (rt *router) handle(method, path string, h http.HandlerFunc) {
 		rt.order = append(rt.order, path)
 	}
 	rt.byPath[path] = append(rt.byPath[path], method)
+}
+
+// raw registers a handler outside the method/405 bookkeeping and the
+// instrumentation middleware — the /debug/pprof tree, whose handlers do
+// their own method handling and whose long profile downloads would distort
+// the latency histograms.
+func (rt *router) raw(path string, h http.HandlerFunc) {
+	rt.mux.HandleFunc(path, h)
 }
 
 func (rt *router) build() http.Handler {
@@ -222,7 +259,14 @@ func matchError(err error) *Error {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	h := HealthJSON{Status: "ok"}
+	e := s.engine()
+	h := HealthJSON{
+		Status:        "ok",
+		UptimeSeconds: obs.Uptime().Seconds(),
+		GoVersion:     runtime.Version(),
+		ModuleVersion: moduleVersion(),
+		Workers:       e.Workers(),
+	}
 	var g *graph.Graph
 	if s.store != nil {
 		ver := s.store.Current()
@@ -230,12 +274,22 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		h.Version = ver.ID()
 		h.Queries = s.store.NumQueries()
 	} else {
-		g = s.engine().Snapshot().Graph()
+		g = e.Snapshot().Graph()
 	}
 	h.Nodes = g.NumNodes()
 	h.Edges = g.NumEdges()
 	h.Labels = g.Labels().Len()
 	writeJSON(w, http.StatusOK, h)
+}
+
+// moduleVersion reports the main module's version from build info:
+// "(devel)" for source builds, the tag for released binaries, "" when the
+// binary carries no module info (some test binaries).
+func moduleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.Main.Version
+	}
+	return ""
 }
 
 func (s *server) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -277,6 +331,11 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
+	var trace *obs.QueryStats
+	if req.Query.Stats {
+		trace = new(obs.QueryStats)
+		opts.Trace = trace
+	}
 
 	start := time.Now()
 	var resp MatchResponse
@@ -303,7 +362,11 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 		resp.Stats = FromStats(res.Stats)
 		resp.Matches = FromSubgraphs(res.Subgraphs)
 	}
+	if trace != nil {
+		resp.QueryStats = FromQueryStats(trace)
+	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	reqInfo(r.Context()).setMatches(len(resp.Matches))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -338,6 +401,11 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
+	var trace *obs.QueryStats
+	if req.Query.Stats {
+		trace = new(obs.QueryStats)
+		opts.Trace = trace
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -364,9 +432,26 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		Stats:     FromStats(stats),
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
+	// The 200 committed before the query ran, so the access log's status
+	// cannot tell how the stream ended; the outcome annotation does.
+	info := reqInfo(r.Context())
+	info.setMatches(count)
 	if err != nil {
 		aerr := matchError(err)
 		done.Code, done.Error = aerr.Code, aerr.Message
+		switch aerr.Code {
+		case CodeCancelled:
+			info.setOutcome("cancelled")
+		case CodeDeadlineExceeded:
+			info.setOutcome("deadline")
+		default:
+			info.setOutcome("error")
+		}
+	} else {
+		info.setOutcome("ok")
+	}
+	if trace != nil {
+		done.QueryStats = FromQueryStats(trace)
 	}
 	_ = enc.Encode(StreamEventJSON{Done: &done})
 	if flusher != nil {

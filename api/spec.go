@@ -45,6 +45,10 @@ type QuerySpec struct {
 	// the server's maximum; 0 uses the server default. The client SDK fills
 	// it from the context deadline when unset.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Stats opts into per-query stage tracing: the response additionally
+	// carries a QueryStatsJSON with candidate-center and ball-size totals
+	// plus per-stage wall times. Tracing never changes the matches.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // MetricByName resolves a wire metric name to its ranking function.

@@ -2,8 +2,10 @@ package api
 
 import (
 	"strconv"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // MatchRequest is the JSON body of POST /v1/match and /v1/match/stream.
@@ -18,11 +20,13 @@ type MatchRequest struct {
 }
 
 // MatchResponse is the JSON body answering POST /v1/match (and the legacy
-// /match alias, byte-identically).
+// /match alias, byte-identically). QueryStats is present exactly when the
+// request set "stats": true.
 type MatchResponse struct {
-	Matches   []SubgraphJSON `json:"matches"`
-	Stats     StatsJSON      `json:"stats"`
-	ElapsedMS float64        `json:"elapsed_ms"`
+	Matches    []SubgraphJSON  `json:"matches"`
+	Stats      StatsJSON       `json:"stats"`
+	QueryStats *QueryStatsJSON `json:"query_stats,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
 }
 
 // SubgraphJSON serializes one perfect subgraph. Rel maps pattern node ids
@@ -54,13 +58,15 @@ type StreamEventJSON struct {
 
 // StreamDoneJSON is the last line of a match stream. A query that failed
 // after streaming began (deadline, cancellation) reports its error here,
-// since the HTTP status is already committed.
+// since the HTTP status is already committed. QueryStats is present exactly
+// when the request set "stats": true.
 type StreamDoneJSON struct {
-	Matches   int       `json:"matches"`
-	Stats     StatsJSON `json:"stats"`
-	ElapsedMS float64   `json:"elapsed_ms"`
-	Code      string    `json:"code,omitempty"`
-	Error     string    `json:"error,omitempty"`
+	Matches    int             `json:"matches"`
+	Stats      StatsJSON       `json:"stats"`
+	QueryStats *QueryStatsJSON `json:"query_stats,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms"`
+	Code       string          `json:"code,omitempty"`
+	Error      string          `json:"error,omitempty"`
 }
 
 // GraphInfoJSON answers GET /v1/graph.
@@ -74,14 +80,19 @@ type GraphInfoJSON struct {
 }
 
 // HealthJSON answers GET /v1/healthz. Version and Queries stay 0 on
-// read-only deployments.
+// read-only deployments. ModuleVersion is "(devel)" outside a released
+// module build.
 type HealthJSON struct {
-	Status  string `json:"status"`
-	Version uint64 `json:"version"`
-	Nodes   int    `json:"nodes"`
-	Edges   int    `json:"edges"`
-	Labels  int    `json:"labels"`
-	Queries int    `json:"queries"`
+	Status        string  `json:"status"`
+	Version       uint64  `json:"version"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Labels        int     `json:"labels"`
+	Queries       int     `json:"queries"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	ModuleVersion string  `json:"module_version,omitempty"`
+	Workers       int     `json:"workers"`
 }
 
 // Mutation op names, mirroring internal/live.
@@ -194,6 +205,37 @@ func FromSubgraphs(pss []*core.PerfectSubgraph) []SubgraphJSON {
 		out = append(out, FromSubgraph(ps))
 	}
 	return out
+}
+
+// QueryStatsJSON is the per-query stage trace answering a request with
+// "stats": true — where the query's time went (prepare = parse, validation
+// and Match+ minimization; filter = candidate filtering; eval = per-center
+// ball evaluation; merge = dedup, ordering and wire expansion) and how much
+// graph it touched.
+type QueryStatsJSON struct {
+	CandidateCenters int     `json:"candidate_centers"`
+	BallsBuilt       int     `json:"balls_built"`
+	BallNodes        int64   `json:"ball_nodes"`
+	BallEdges        int64   `json:"ball_edges"`
+	PrepareMS        float64 `json:"prepare_ms"`
+	FilterMS         float64 `json:"filter_ms"`
+	EvalMS           float64 `json:"eval_ms"`
+	MergeMS          float64 `json:"merge_ms"`
+}
+
+// FromQueryStats serializes an engine-side stage trace.
+func FromQueryStats(qs *obs.QueryStats) *QueryStatsJSON {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return &QueryStatsJSON{
+		CandidateCenters: qs.CandidateCenters,
+		BallsBuilt:       qs.BallsBuilt,
+		BallNodes:        qs.BallNodes,
+		BallEdges:        qs.BallEdges,
+		PrepareMS:        ms(qs.Prepare),
+		FilterMS:         ms(qs.Filter),
+		EvalMS:           ms(qs.Eval),
+		MergeMS:          ms(qs.Merge),
+	}
 }
 
 // FromStats serializes query statistics.

@@ -148,6 +148,26 @@ func (c *Client) Healthz(ctx context.Context) (*api.HealthJSON, error) {
 	return &h, nil
 }
 
+// Metrics scrapes GET /v1/metrics and returns the raw Prometheus text
+// exposition. Parse it with obs.ParseText or feed it to any Prometheus
+// scraper; cmd/loadgen diffs two scrapes to derive per-endpoint
+// throughput and latency quantiles.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.send(ctx, http.MethodGet, api.Prefix+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return "", decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading metrics: %w", err)
+	}
+	return string(raw), nil
+}
+
 // Graph describes the served data graph and engine.
 func (c *Client) Graph(ctx context.Context) (*api.GraphInfoJSON, error) {
 	var g api.GraphInfoJSON

@@ -8,16 +8,25 @@
 // allocs_per_op}; goos/goarch/pkg/cpu header lines are captured once as
 // environment metadata. Lines that are neither are ignored, so interleaved
 // PASS/ok output is fine.
+//
+// With -metrics <file>, a Prometheus text exposition written by the bench
+// run (the root TestMain dumps one to $OBS_METRICS_OUT) is folded into the
+// report: the scratch-arena counters verbatim plus derived reuse rates, so
+// the trajectory artifacts record how often the hot path reused arenas
+// instead of growing them.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // bytes_per_op/allocs_per_op are pointers so a measured 0 (the goal state
@@ -32,8 +41,9 @@ type benchmark struct {
 }
 
 type report struct {
-	Env        map[string]string `json:"env"`
-	Benchmarks []benchmark       `json:"benchmarks"`
+	Env        map[string]string  `json:"env"`
+	Benchmarks []benchmark        `json:"benchmarks"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -41,7 +51,17 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
+	metricsPath := flag.String("metrics", "", "Prometheus text exposition to fold into the report")
+	flag.Parse()
 	rep := report{Env: make(map[string]string)}
+	if *metricsPath != "" {
+		m, err := loadMetrics(*metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Metrics = m
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -78,4 +98,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadMetrics reads an exposition file and keeps the scratch-arena series,
+// deriving reuse rates ((total - misses) / total) from them.
+func loadMetrics(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	vals, err := obs.ParseText(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	for name, v := range vals {
+		if strings.HasPrefix(name, "scratch_") {
+			out[name] = v
+		}
+	}
+	rate := func(total, misses string) (float64, bool) {
+		t := vals[total]
+		if t <= 0 {
+			return 0, false
+		}
+		return (t - vals[misses]) / t, true
+	}
+	if r, ok := rate("scratch_ball_builds_total", "scratch_ball_misses_total"); ok {
+		out["scratch_ball_reuse_rate"] = r
+	}
+	if r, ok := rate("scratch_sim_evals_total", "scratch_sim_misses_total"); ok {
+		out["scratch_sim_reuse_rate"] = r
+	}
+	return out, nil
 }

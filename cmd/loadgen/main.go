@@ -1,0 +1,389 @@
+// Loadgen replays a configurable mix of match, update and standing-query
+// traffic against a /v1 strong-simulation service through the client SDK,
+// and reports throughput plus client-observed latency quantiles per
+// endpoint alongside a before/after diff of the server's own /v1/metrics.
+//
+// It either targets a running server (-addr) or self-hosts one in-process
+// over a synthetic graph (-synthetic N) or a data file (-data), which makes
+// one invocation a complete smoke test:
+//
+//	loadgen -synthetic 400 -duration 5s -concurrency 8 -out BENCH_PR6.json
+//	loadgen -addr http://localhost:8372 -mix 80:10:10 -duration 30s
+//
+// The mix is match:update:standing weights. Update batches insert and then
+// delete the same edge, so the served graph converges back to its starting
+// state and throughput numbers stay comparable across runs. Standing ops
+// poll the delta of a query loadgen registers at startup (skipped, with a
+// warning, against servers built without a live store).
+//
+// Loadgen exits non-zero when any request failed or when the run produced
+// zero successful matches — an empty result set means the sampled patterns
+// or the target graph are wrong, not that the server is fast.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr        = flag.String("addr", "", "target server base URL; empty self-hosts one in-process")
+		dataPath    = flag.String("data", "", "data graph file for the self-hosted server")
+		synthetic   = flag.Int("synthetic", 0, "self-host over a synthetic graph with this many nodes")
+		labels      = flag.Int("labels", 10, "distinct labels for -synthetic")
+		seed        = flag.Int64("seed", 1, "seed for graph synthesis, pattern sampling and the op mix")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to drive traffic")
+		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent client workers")
+		mixSpec     = flag.String("mix", "90:5:5", "match:update:standing traffic weights")
+		patterns    = flag.Int("patterns", 8, "distinct patterns sampled from the graph")
+		mode        = flag.String("mode", api.ModePlus, "query mode (plain or plus)")
+		out         = flag.String("out", "BENCH_PR6.json", "report file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g, base, shutdown, err := target(*addr, *dataPath, *synthetic, *labels, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	cl := client.New(base)
+	ctx := context.Background()
+
+	h, err := cl.Healthz(ctx)
+	if err != nil {
+		log.Fatalf("target %s is not healthy: %v", base, err)
+	}
+	log.Printf("target %s: %d nodes, %d edges, %d workers (go %s)",
+		base, h.Nodes, h.Edges, h.Workers, h.GoVersion)
+
+	run := &runner{
+		cl:   cl,
+		mode: *mode,
+		pats: samplePatterns(g, *patterns, *seed),
+	}
+	if mix.update > 0 || mix.standing > 0 {
+		if err := run.setupMutable(ctx, h.Nodes); err != nil {
+			log.Printf("warning: %v; running a read-only mix", err)
+			mix.update, mix.standing = 0, 0
+		}
+	}
+
+	metricsBefore, err := scrapeParsed(ctx, cl)
+	if err != nil {
+		log.Fatalf("scraping /v1/metrics: %v", err)
+	}
+
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				run.one(ctx, rng, mix)
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	metricsAfter, err := scrapeParsed(ctx, cl)
+	if err != nil {
+		log.Fatalf("scraping /v1/metrics: %v", err)
+	}
+
+	rep := run.report(elapsed, diffMetrics(metricsBefore, metricsAfter))
+	rep.Config.Concurrency = *concurrency
+	rep.Config.Mix = *mixSpec
+	rep.Config.Mode = *mode
+	rep.Config.Patterns = *patterns
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+	for ep, st := range rep.Endpoints {
+		log.Printf("%-18s %6d ok %3d err  %8.1f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms",
+			ep, st.Requests, st.Errors, st.ThroughputRPS, st.P50MS, st.P95MS, st.P99MS)
+	}
+	if rep.TotalErrors > 0 {
+		log.Fatalf("%d requests failed", rep.TotalErrors)
+	}
+	if rep.TotalMatches == 0 {
+		log.Fatal("zero matches across the whole run; sampled patterns never hit")
+	}
+}
+
+// target resolves where traffic goes: an external server, or a self-hosted
+// live server over a loaded or synthesized graph. The returned graph is nil
+// for external targets with no -data (patterns are then sampled from
+// /v1/graph metadata — not supported; -data or -synthetic is required).
+func target(addr, dataPath string, synthetic, labels int, seed int64) (*graph.Graph, string, func(), error) {
+	var g *graph.Graph
+	switch {
+	case dataPath != "":
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		g, err = graph.Parse(f, graph.NewLabels())
+		f.Close()
+		if err != nil {
+			return nil, "", nil, fmt.Errorf("%s: %w", dataPath, err)
+		}
+	case synthetic > 0:
+		g = generator.Synthetic(synthetic, 1.2, labels, seed)
+	default:
+		return nil, "", nil, fmt.Errorf("need -data or -synthetic to sample patterns from")
+	}
+	if addr != "" {
+		return g, strings.TrimRight(addr, "/"), func() {}, nil
+	}
+	store := live.NewStore(g, live.Config{})
+	ts := httptest.NewServer(api.NewLiveServer(store, api.Config{}))
+	return g, ts.URL, ts.Close, nil
+}
+
+func samplePatterns(g *graph.Graph, n int, seed int64) []string {
+	pats := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		q := generator.SamplePattern(g, generator.PatternOptions{
+			Nodes: 2 + i%3, Alpha: 1.2, Seed: seed + int64(i)*131,
+		})
+		pats = append(pats, graph.FormatString(q))
+	}
+	return pats
+}
+
+// mix holds the op weights; an op is drawn proportionally to its weight.
+type mixWeights struct{ match, update, standing int }
+
+func parseMix(spec string) (mixWeights, error) {
+	var m mixWeights
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return m, fmt.Errorf("-mix wants match:update:standing, e.g. 90:5:5")
+	}
+	for i, dst := range []*int{&m.match, &m.update, &m.standing} {
+		if _, err := fmt.Sscanf(strings.TrimSpace(parts[i]), "%d", dst); err != nil || *dst < 0 {
+			return m, fmt.Errorf("-mix wants three non-negative integers")
+		}
+	}
+	if m.match+m.update+m.standing == 0 {
+		return m, fmt.Errorf("-mix weights sum to zero")
+	}
+	return m, nil
+}
+
+// runner drives the three op kinds and accumulates per-endpoint outcomes.
+type runner struct {
+	cl   *client.Client
+	mode string
+	pats []string
+
+	queryID int64 // standing query registered at setup
+	edgeU   int32 // endpoints of the churn edge update ops toggle
+	edgeV   int32
+
+	mu      sync.Mutex
+	lat     map[string][]float64 // endpoint -> request latencies (ms)
+	errs    map[string]int64
+	matches atomic.Int64
+}
+
+func (r *runner) record(endpoint string, d time.Duration, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lat == nil {
+		r.lat = make(map[string][]float64)
+		r.errs = make(map[string]int64)
+	}
+	if err != nil {
+		r.errs[endpoint]++
+		return
+	}
+	r.lat[endpoint] = append(r.lat[endpoint], float64(d.Microseconds())/1000)
+}
+
+// setupMutable registers the standing query and picks the churn edge the
+// update ops insert and delete.
+func (r *runner) setupMutable(ctx context.Context, nodes int) error {
+	qj, err := r.cl.RegisterText(ctx, r.pats[0])
+	if err != nil {
+		return fmt.Errorf("registering standing query: %w", err)
+	}
+	r.queryID = qj.ID
+	if nodes < 2 {
+		return fmt.Errorf("graph too small for update traffic")
+	}
+	r.edgeU, r.edgeV = 0, int32(nodes-1)
+	return nil
+}
+
+func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
+	pick := rng.Intn(m.match + m.update + m.standing)
+	switch {
+	case pick < m.match:
+		pat := r.pats[rng.Intn(len(r.pats))]
+		start := time.Now()
+		res, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode})
+		r.record("/v1/match", time.Since(start), err)
+		if err == nil {
+			r.matches.Add(int64(len(res.Matches)))
+		}
+	case pick < m.match+m.update:
+		// Insert-then-delete of one edge in a single atomic batch: real
+		// version churn (standing queries re-evaluate dirty centers), no
+		// net graph drift.
+		start := time.Now()
+		_, err := r.cl.Update(ctx,
+			api.InsertEdge(r.edgeU, r.edgeV), api.DeleteEdge(r.edgeU, r.edgeV))
+		r.record("/v1/update", time.Since(start), err)
+	default:
+		start := time.Now()
+		_, err := r.cl.PollDelta(ctx, r.queryID)
+		r.record("/v1/queries/{id}/delta", time.Since(start), err)
+	}
+}
+
+// Report is the BENCH_PR6.json shape: per-endpoint client-observed
+// throughput and latency quantiles, plus the server's own counter movement
+// over the run.
+type Report struct {
+	Config struct {
+		Concurrency int    `json:"concurrency"`
+		Mix         string `json:"mix"`
+		Mode        string `json:"mode"`
+		Patterns    int    `json:"patterns"`
+	} `json:"config"`
+	DurationSeconds    float64                  `json:"duration_seconds"`
+	TotalRequests      int64                    `json:"total_requests"`
+	TotalErrors        int64                    `json:"total_errors"`
+	TotalMatches       int64                    `json:"total_matches"`
+	Endpoints          map[string]EndpointStats `json:"endpoints"`
+	ServerMetricsDelta map[string]float64       `json:"server_metrics_delta"`
+}
+
+// EndpointStats summarizes one endpoint's run from the client's side.
+type EndpointStats struct {
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+func (r *runner) report(elapsed time.Duration, serverDelta map[string]float64) *Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		DurationSeconds:    elapsed.Seconds(),
+		TotalMatches:       r.matches.Load(),
+		Endpoints:          make(map[string]EndpointStats),
+		ServerMetricsDelta: serverDelta,
+	}
+	for ep, lats := range r.lat {
+		sort.Float64s(lats)
+		st := EndpointStats{
+			Requests:      int64(len(lats)) + r.errs[ep],
+			Errors:        r.errs[ep],
+			ThroughputRPS: float64(len(lats)) / elapsed.Seconds(),
+			P50MS:         quantile(lats, 0.50),
+			P95MS:         quantile(lats, 0.95),
+			P99MS:         quantile(lats, 0.99),
+		}
+		rep.Endpoints[ep] = st
+		rep.TotalRequests += st.Requests
+		rep.TotalErrors += st.Errors
+	}
+	for ep, n := range r.errs {
+		if _, ok := rep.Endpoints[ep]; !ok { // endpoint that only ever failed
+			rep.Endpoints[ep] = EndpointStats{Requests: n, Errors: n}
+			rep.TotalRequests += n
+			rep.TotalErrors += n
+		}
+	}
+	return rep
+}
+
+// quantile reads the q-th quantile from sorted latencies (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func scrapeParsed(ctx context.Context, cl *client.Client) (map[string]float64, error) {
+	raw, err := cl.Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(strings.NewReader(raw))
+}
+
+// diffMetrics keeps the movement of the counters that describe the run —
+// request totals, pool activity, scratch reuse, live-store churn — and
+// drops gauges and unmoved series.
+func diffMetrics(before, after map[string]float64) map[string]float64 {
+	keep := func(name string) bool {
+		for _, p := range []string{
+			"http_requests_total", "http_request_seconds_count", "http_request_seconds_sum",
+			"exec_", "scratch_", "live_", "http_panics_total",
+		} {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	out := make(map[string]float64)
+	for name, v := range after {
+		if d := v - before[name]; d != 0 && keep(name) {
+			out[name] = d
+		}
+	}
+	return out
+}

@@ -20,10 +20,11 @@
 //	    "updates": [{"op": "insert_edge", "u": 3, "v": 9}]}'
 //	curl -s localhost:8372/v1/queries/0
 //
-// Endpoints: GET /v1/healthz, GET /v1/graph, POST /v1/match,
-// POST /v1/match/stream, POST /v1/update, POST/GET /v1/queries,
-// GET/DELETE /v1/queries/{id}, GET /v1/queries/{id}/delta. See API.md for
-// every schema and error code, and package client for the Go SDK.
+// Endpoints: GET /v1/healthz, GET /v1/graph, GET /v1/metrics (Prometheus
+// text exposition), POST /v1/match, POST /v1/match/stream, POST /v1/update,
+// POST/GET /v1/queries, GET/DELETE /v1/queries/{id},
+// GET /v1/queries/{id}/delta, and /debug/pprof behind -pprof. See API.md
+// for every schema and error code, and package client for the Go SDK.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +57,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout = flag.Duration("max-timeout", time.Minute, "largest deadline a request may ask for")
 		maxBody    = flag.Int64("max-body", 8<<20, "request body cap in bytes")
+		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
+		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (operator listeners only)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -88,12 +92,21 @@ func main() {
 		log.Printf("prepared v0 balls for radii %v in %v", radii, time.Since(start))
 	}
 
+	// One structured JSON line per request on stderr: method, path, status,
+	// bytes, duration, request id, plus handler annotations (match counts,
+	// how a stream ended). Panics surface here with their stack.
+	var accessLog *slog.Logger
+	if !*quiet {
+		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: api.NewLiveServer(store, api.Config{
 			DefaultTimeout: *timeout,
 			MaxTimeout:     *maxTimeout,
 			MaxBodyBytes:   *maxBody,
+			AccessLog:      accessLog,
+			EnablePprof:    *pprofOn,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

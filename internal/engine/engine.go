@@ -17,10 +17,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/simulation"
 )
 
@@ -85,6 +87,13 @@ type QueryOptions struct {
 	// and cancels outstanding ball work; 0 returns all matches. Which
 	// subgraphs are returned under a limit depends on worker scheduling.
 	Limit int
+	// Trace, when non-nil, receives the per-stage statistics of this query:
+	// stage wall times, candidate-center counts and evaluated ball sizes.
+	// Tracing never changes results, and a nil Trace adds no per-ball
+	// allocations. The pointed-to struct must not be shared across
+	// concurrent queries; read it only after the query has finished (after
+	// Match returns, or after Stream.Wait).
+	Trace *obs.QueryStats
 }
 
 // PlusQuery returns the Match+ configuration: every optimization enabled.
@@ -119,6 +128,8 @@ type preparedQuery struct {
 // interruptible), so cancelled requests shed their heaviest precomputation
 // instead of running it to completion.
 func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions) (*preparedQuery, error) {
+	tr := opts.Trace
+	start := time.Now()
 	if q == nil || q.NumNodes() == 0 {
 		return nil, fmt.Errorf("engine: empty pattern graph")
 	}
@@ -137,6 +148,10 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if tr != nil {
+		tr.Prepare = time.Since(start)
+		start = time.Now()
+	}
 
 	g := e.snap.g
 	var centerSet *graph.NodeSet
@@ -146,6 +161,9 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 			// Q ⊀D G: no ball can match (Proposition 1).
 			p.stats.BallsSkipped = g.NumNodes()
 			p.done = true
+			if tr != nil {
+				tr.Filter = time.Since(start)
+			}
 			return p, nil
 		}
 		p.global = rel
@@ -158,6 +176,10 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 	}
 	p.centers = centerSet.Slice()
 	p.stats.BallsSkipped = g.NumNodes() - len(p.centers)
+	if tr != nil {
+		tr.Filter = time.Since(start)
+		tr.CandidateCenters = len(p.centers)
+	}
 	return p, nil
 }
 
@@ -168,6 +190,11 @@ type ballOutcome struct {
 	pos   int
 	ps    *core.PerfectSubgraph
 	stats core.Stats
+	// ballNodes/ballEdges record the evaluated ball's size for query
+	// tracing; plain ints in the outcome struct, so the stats-off path pays
+	// two register stores per ball and no allocation.
+	ballNodes int
+	ballEdges int
 }
 
 // evalCenters fans ball evaluation over the internal/exec pool and feeds
@@ -185,7 +212,8 @@ func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts cor
 			center := p.centers[pos]
 			ball := e.snap.BallIn(&s.Balls, center, p.radius)
 			ps, stats := core.EvalPreparedBallIn(p.qEff, ball, center, coreOpts, p.global, &s.Sim)
-			return ballOutcome{pos: pos, ps: ps, stats: stats}
+			return ballOutcome{pos: pos, ps: ps, stats: stats,
+				ballNodes: ball.G.NumNodes(), ballEdges: ball.G.NumEdges()}
 		},
 		func(pos int, o ballOutcome) bool { return sink(o) })
 }
@@ -251,13 +279,20 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	// Sized by candidate count, not |V|: per-query memory must not scale
 	// with graph size when the prefilter leaves few viable centers.
 	out := make([]*core.PerfectSubgraph, len(p.centers))
+	tr := opts.Trace
+	evalStart := time.Now()
 	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
 		foldStats(&res.Stats, o.stats)
+		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		out[o.pos] = o.ps
 		return true
 	})
 	if err != nil {
 		return nil, err
+	}
+	mergeStart := time.Now()
+	if tr != nil {
+		tr.Eval = mergeStart.Sub(evalStart)
 	}
 
 	res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
@@ -266,6 +301,9 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 		for _, ps := range res.Subgraphs {
 			core.ExpandRelation(ps, q, p.classOf)
 		}
+	}
+	if tr != nil {
+		tr.Merge = time.Since(mergeStart)
 	}
 	return res, nil
 }
@@ -282,7 +320,11 @@ func (e *Engine) matchLimited(ctx context.Context, q *graph.Graph, opts QueryOpt
 		return nil, err
 	}
 	res.Stats = stats
+	mergeStart := time.Now()
 	core.SortSubgraphs(res.Subgraphs)
+	if tr := opts.Trace; tr != nil {
+		tr.Merge = time.Since(mergeStart)
+	}
 	return res, nil
 }
 
@@ -299,10 +341,13 @@ func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emi
 		return stats, nil
 	}
 
+	tr := opts.Trace
+	evalStart := time.Now()
 	dedup := core.NewDeduper()
 	emitted := 0
 	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
 		foldStats(&stats, o.stats)
+		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		if !dedup.Admit(o.ps, &stats) {
 			return true
 		}
@@ -315,6 +360,11 @@ func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emi
 		emitted++
 		return opts.Limit <= 0 || emitted < opts.Limit
 	})
+	if tr != nil {
+		// Streaming dedups and expands inside the sink, so for run-based
+		// executions the whole post-prepare phase is the eval stage.
+		tr.Eval = time.Since(evalStart)
+	}
 	return stats, err
 }
 
@@ -376,5 +426,10 @@ func (e *Engine) MatchTopK(ctx context.Context, q *graph.Graph, k int, metric co
 	if err != nil {
 		return nil, stats, err
 	}
-	return top.ranked(), stats, nil
+	mergeStart := time.Now()
+	ranked := top.ranked()
+	if tr := opts.Trace; tr != nil {
+		tr.Merge = time.Since(mergeStart)
+	}
+	return ranked, stats, nil
 }

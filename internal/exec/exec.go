@@ -32,10 +32,48 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/simulation"
 )
+
+// Pool metrics, registered into the process-wide registry so /v1/metrics can
+// report pipeline saturation. Per-task updates are single atomic operations;
+// scratch reuse counters are folded in once per retiring worker, so the
+// per-ball path stays allocation-free and nearly contention-free.
+var (
+	poolRuns = obs.Default.Counter("exec_runs_total",
+		"ball-evaluation pipeline runs started")
+	poolTasks = obs.Default.Counter("exec_tasks_total",
+		"positions (balls) evaluated across all pipeline runs")
+	poolWorkersActive = obs.Default.Gauge("exec_workers_active",
+		"evaluation goroutines currently alive")
+	poolWorkersBusy = obs.Default.Gauge("exec_workers_busy",
+		"evaluation goroutines currently inside an evaluation")
+	poolQueueDepth = obs.Default.Gauge("exec_queue_depth",
+		"positions admitted to runs but not yet picked up by a worker")
+	scratchBallBuilds = obs.Default.Counter("scratch_ball_builds_total",
+		"balls built into per-worker scratch arenas")
+	scratchBallMisses = obs.Default.Counter("scratch_ball_misses_total",
+		"scratch ball builds that had to grow an arena (reuse = builds - misses)")
+	scratchSimEvals = obs.Default.Counter("scratch_sim_evals_total",
+		"ball evaluations run on per-worker simulation scratch state")
+	scratchSimMisses = obs.Default.Counter("scratch_sim_misses_total",
+		"simulation scratch cycles that had to grow state (reuse = evals - misses)")
+)
+
+// flush folds the scratch's cumulative reuse counters into the registry;
+// called once when a worker (or a sequential run) retires its scratch.
+func (s *Scratch) flush() {
+	b, m := s.Balls.Stats()
+	scratchBallBuilds.Add(b)
+	scratchBallMisses.Add(m)
+	ev, em := s.Sim.Stats()
+	scratchSimEvals.Add(ev)
+	scratchSimMisses.Add(em)
+}
 
 // Scratch is the per-worker arena: reusable ball construction buffers and
 // simulation state. Evaluators receive their worker's scratch and may use
@@ -100,13 +138,29 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 		return ctx.Err()
 	}
 	workers := opts.workers(n)
+	poolRuns.Inc()
+	poolQueueDepth.Add(int64(n))
+	var undelivered atomic.Int64 // positions still counted in poolQueueDepth
+	undelivered.Store(int64(n))
+	// Runs after every worker has retired (the pooled path returns only once
+	// the results channel closes), so no further decrements race with it.
+	defer func() { poolQueueDepth.Add(-undelivered.Load()) }()
 	if workers == 1 {
 		s := new(Scratch)
+		defer s.flush()
+		poolWorkersActive.Inc()
+		defer poolWorkersActive.Dec()
 		for pos := 0; pos < n; pos++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if !sink(pos, eval(s, pos)) {
+			poolQueueDepth.Dec()
+			undelivered.Add(-1)
+			poolWorkersBusy.Inc()
+			v := eval(s, pos)
+			poolWorkersBusy.Dec()
+			poolTasks.Inc()
+			if !sink(pos, v) {
 				break
 			}
 		}
@@ -123,9 +177,18 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 		go func() {
 			defer wg.Done()
 			s := new(Scratch)
+			defer s.flush()
+			poolWorkersActive.Inc()
+			defer poolWorkersActive.Dec()
 			for pos := range tasks {
+				poolQueueDepth.Dec()
+				undelivered.Add(-1)
+				poolWorkersBusy.Inc()
+				v := eval(s, pos)
+				poolWorkersBusy.Dec()
+				poolTasks.Inc()
 				select {
-				case results <- outcome[T]{pos: pos, v: eval(s, pos)}:
+				case results <- outcome[T]{pos: pos, v: v}:
 				case <-runCtx.Done():
 					return
 				}

@@ -31,6 +31,12 @@ type BallScratch struct {
 	frontier []int32
 	next     []int32
 
+	// Reuse accounting (see Stats): builds counts Build calls, misses counts
+	// builds that had to grow an arena instead of being served entirely from
+	// reused storage.
+	builds int64
+	misses int64
+
 	// Reused ball storage.
 	ball     Ball
 	sub      Graph
@@ -47,12 +53,14 @@ type BallScratch struct {
 	dist     []int32
 }
 
-// grow ensures the per-parent-node stamp slices cover g.
-func (s *BallScratch) grow(n int) {
+// grow ensures the per-parent-node stamp slices cover g, reporting whether
+// it had to reallocate them.
+func (s *BallScratch) grow(n int) (grew bool) {
 	if len(s.seenAt) < n {
 		s.seenAt = make([]int32, n)
 		s.distOf = make([]int32, n)
 		s.epoch = 0
+		grew = true
 	}
 	if s.toBall == nil {
 		s.toBall = make(map[int32]int32)
@@ -66,13 +74,23 @@ func (s *BallScratch) grow(n int) {
 		s.epoch = 0
 	}
 	s.epoch++
+	return grew
 }
+
+// Stats returns the cumulative build and arena-miss counts of this scratch:
+// builds is how many balls it has constructed, misses how many of those had
+// to grow backing storage. builds - misses builds ran entirely on reused
+// arenas; internal/exec folds these into the scratch_ball_* counters of the
+// metrics registry when a worker retires.
+func (s *BallScratch) Stats() (builds, misses int64) { return s.builds, s.misses }
 
 // Build constructs Ĝ[center, radius] into the scratch and returns it. The
 // result is identical to NewBall(g, center, radius) in every observable way;
 // only the storage lifetime differs (see the type comment).
 func (s *BallScratch) Build(g *Graph, center int32, radius int) *Ball {
-	s.grow(g.NumNodes())
+	s.builds++
+	grew := s.grow(g.NumNodes())
+	preMembers, preOut, preIn, preLbl := cap(s.members), cap(s.outArena), cap(s.inArena), cap(s.lblArena)
 
 	// Undirected BFS, reusing the stamp slices and frontier buffers.
 	s.members = append(s.members[:0], center)
@@ -177,6 +195,10 @@ func (s *BallScratch) Build(g *Graph, center int32, radius int) *Ball {
 		Orig:   s.orig,
 		Dist:   s.dist,
 		toBall: s.toBall,
+	}
+	if grew || cap(s.members) != preMembers || cap(s.outArena) != preOut ||
+		cap(s.inArena) != preIn || cap(s.lblArena) != preLbl {
+		s.misses++
 	}
 	return &s.ball
 }

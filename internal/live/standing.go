@@ -105,6 +105,7 @@ func (s *Store) Register(patternSrc string) (*StandingQuery, error) {
 
 	s.qmu.Lock()
 	s.queries[sq.id] = sq
+	liveStandingQueries.Set(int64(len(s.queries)))
 	s.qmu.Unlock()
 	return sq, nil
 }
@@ -119,6 +120,7 @@ func (s *Store) Unregister(id int64) bool {
 		return false
 	}
 	delete(s.queries, id)
+	liveStandingQueries.Set(int64(len(s.queries)))
 	return true
 }
 
@@ -216,6 +218,10 @@ func (s *Store) maintainLocked(sq *StandingQuery, ver *Version, dirty []int32) i
 	}
 	st.added, st.removed = diffResults(prev.result, st.result)
 	sq.state.Store(st)
+	liveRecomputedBalls.Add(int64(len(eval)))
+	if len(st.added)+len(st.removed) > 0 {
+		liveStandingDeltas.Inc()
+	}
 	return len(eval)
 }
 

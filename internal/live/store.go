@@ -44,6 +44,27 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/incremental"
+	"repro/internal/obs"
+)
+
+// Store metrics, registered into the process-wide registry. A process
+// normally serves one store; with several, the counters aggregate and the
+// version gauge reports the most recently published version of any store.
+var (
+	liveVersion = obs.Default.Gauge("live_version",
+		"most recently published store version")
+	liveBatches = obs.Default.Counter("live_update_batches_total",
+		"update batches applied and published")
+	liveMutations = obs.Default.Counter("live_mutations_total",
+		"mutations applied inside successful update batches")
+	liveBatchesRejected = obs.Default.Counter("live_update_batches_rejected_total",
+		"update batches rejected with no state change")
+	liveStandingQueries = obs.Default.Gauge("live_standing_queries",
+		"standing queries currently registered")
+	liveRecomputedBalls = obs.Default.Counter("live_standing_recomputed_balls_total",
+		"balls re-evaluated maintaining standing queries after update batches")
+	liveStandingDeltas = obs.Default.Counter("live_standing_deltas_total",
+		"standing-query maintenance steps whose result set actually changed")
 )
 
 // TombstoneLabel is the label deleted nodes are re-labeled with. Node ids
@@ -190,6 +211,7 @@ func NewStore(g *graph.Graph, cfg Config) *Store {
 		}
 	}
 	s.current.Store(&Version{id: 0, eng: engine.New(g, engine.Config{Workers: cfg.Workers})})
+	liveVersion.Set(0)
 	return s
 }
 
@@ -440,6 +462,7 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 			// Discarding b reverts all graph state; labels interned by the
 			// failed batch stay in the master table, which is harmless
 			// (identifiers are append-only and unused until referenced).
+			liveBatchesRejected.Inc()
 			return nil, fmt.Errorf("live: batch[%d]: %w", i, err)
 		}
 	}
@@ -451,6 +474,8 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 	s.byLabel = b.byLabel
 	s.numEdges = b.numEdges
 	ver := s.publishLocked()
+	liveBatches.Inc()
+	liveMutations.Add(int64(len(muts)))
 
 	// Maintain standing queries against the new version.
 	s.qmu.RLock()
@@ -501,6 +526,7 @@ func (s *Store) publishLocked() *Version {
 		s.numEdges, fmt.Sprintf("%s@v%d", name, prev.id+1))
 	ver := &Version{id: prev.id + 1, eng: engine.New(g, engine.Config{Workers: s.workers})}
 	s.current.Store(ver)
+	liveVersion.Set(int64(ver.id))
 	return ver
 }
 

@@ -1,0 +1,48 @@
+package obs
+
+import "time"
+
+// QueryStats is the per-query stage trace of one match execution: where the
+// wall time went (the paper's cost model — ball construction dominated by
+// dQ-hop BFS, then dual-simulation refinement) and how much graph the query
+// actually touched. The engine fills one when QueryOptions.Trace points at
+// it; the /v1 endpoints request that when the QuerySpec carries
+// "stats": true. Collection must never change results — a traced query and
+// an untraced one answer byte-identically.
+//
+// A QueryStats is written by the query's coordinating goroutine only (the
+// exec sink runs on the calling goroutine) and must not be shared across
+// concurrent queries.
+type QueryStats struct {
+	// CandidateCenters is how many centers survived prefiltering (label
+	// index or global dual-simulation filter) and were scheduled for ball
+	// evaluation.
+	CandidateCenters int
+	// BallsBuilt counts balls actually constructed and evaluated. Under an
+	// early exit (Limit, cancellation) this can be less than
+	// CandidateCenters; outcomes discarded mid-flight are not counted.
+	BallsBuilt int
+	// BallNodes and BallEdges total the sizes of every evaluated ball — the
+	// dominant term of per-query work.
+	BallNodes int64
+	BallEdges int64
+	// Prepare is validation plus query minimization; Filter is the global
+	// dual-simulation filter (Match+) or candidate-center selection; Eval is
+	// the parallel ball-evaluation phase; Merge is dedup, sorting, relation
+	// expansion and ranking after evaluation.
+	Prepare time.Duration
+	Filter  time.Duration
+	Eval    time.Duration
+	Merge   time.Duration
+}
+
+// ObserveBall records one evaluated ball. A nil receiver is a no-op, so the
+// engine's sink can call it unconditionally on the stats-off path.
+func (qs *QueryStats) ObserveBall(nodes, edges int) {
+	if qs == nil {
+		return
+	}
+	qs.BallsBuilt++
+	qs.BallNodes += int64(nodes)
+	qs.BallEdges += int64(edges)
+}

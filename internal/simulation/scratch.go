@@ -22,6 +22,23 @@ type Scratch struct {
 	cntArena []int32
 	cntSucc  [][]int32
 	cntPred  [][]int32
+
+	// Reuse accounting (see Stats).
+	evals  int64
+	misses int64
+}
+
+// Stats returns the cumulative evaluation-cycle and arena-miss counts of
+// this scratch: evals counts Relation calls (one per ball evaluation),
+// misses counts cycles that had to grow the relation pool or the counter
+// arena instead of running entirely on reused storage. internal/exec folds
+// these into the scratch_sim_* counters of the metrics registry when a
+// worker retires.
+func (s *Scratch) Stats() (evals, misses int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.evals, s.misses
 }
 
 // Relation returns an all-empty relation for nq pattern nodes over capacity
@@ -31,7 +48,11 @@ func (s *Scratch) Relation(nq, capacity int) Relation {
 	if s == nil {
 		return NewRelation(nq, capacity)
 	}
+	s.evals++
 	s.spareLen = 0
+	if len(s.rel) < nq {
+		s.misses++
+	}
 	for len(s.rel) < nq {
 		s.rel = append(s.rel, graph.NewNodeSet(0))
 	}
@@ -83,6 +104,7 @@ func (s *Scratch) counters(nq, ng int, pred bool) (cntSucc, cntPred [][]int32) {
 	} else {
 		if cap(s.cntArena) < need {
 			s.cntArena = make([]int32, need)
+			s.misses++
 		}
 		arena = s.cntArena[:need]
 		for i := range arena {

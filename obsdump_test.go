@@ -1,0 +1,30 @@
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMain lets a bench run export the process-wide metrics registry: when
+// $OBS_METRICS_OUT names a file, the Prometheus exposition is written there
+// after the run, and benchjson -metrics folds its scratch-arena reuse
+// counters into the trajectory artifact. Unset, this is a plain m.Run().
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("OBS_METRICS_OUT"); path != "" && code == 0 {
+		f, err := os.Create(path)
+		if err == nil {
+			err = obs.Default.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			os.Stderr.WriteString("writing " + path + ": " + err.Error() + "\n")
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
