@@ -19,8 +19,11 @@
 // process-wide internal/obs registry (rendered by GET /v1/metrics), panic
 // recovery into a structured 500, and an optional structured access log
 // (Config.AccessLog). QuerySpec's "stats" flag opts one query into a
-// per-stage trace returned as query_stats. See API.md at the repository
-// root for the endpoint reference, and package client for the typed Go SDK.
+// per-stage trace returned as query_stats. Config.EnableDebug mounts the
+// /v1/debug flight recorder — the in-flight query table with live stage
+// and progress, rings of recent and slow completions, and admin
+// cancellation by request id. See API.md at the repository root for the
+// endpoint reference, and package client for the typed Go SDK.
 package api
 
 // Version is the current wire-protocol version; every versioned route is

@@ -53,6 +53,11 @@ type Error struct {
 	// Status is the HTTP status the error travelled with. It is derived
 	// from the transport, not the body.
 	Status int `json:"-"`
+	// RequestID is the X-Request-Id the failing response carried, filled by
+	// the client SDK so a failure can be correlated with the server's access
+	// log and flight recorder (/v1/debug/queries/recent). Transport
+	// metadata, never part of the JSON body.
+	RequestID string `json:"-"`
 }
 
 // Error renders the code, message and HTTP status.

@@ -1,12 +1,14 @@
 package api
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // The handlers over the mutable store: /v1/update and the /v1/queries
@@ -102,12 +104,31 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr)
 		return
 	}
-	sq, err := s.store.Register(text)
+	// Registration runs a full initial evaluation — the same work as a
+	// match over every candidate center — so it is tracked and cancellable
+	// like one. No deadline is imposed (registrations were never bounded);
+	// cancellation comes from the client going away or an operator DELETE.
+	// Update-driven maintenance is deliberately not tracked: cancelling it
+	// mid-way would leave a standing query's per-center cache half-updated.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	var trace *obs.QueryStats
+	if s.flight != nil {
+		trace = new(obs.QueryStats)
+	}
+	fl := s.flightStart(r, "standing", textDigest(text), cancel, trace)
+	sq, err := s.store.RegisterCtx(ctx, text, trace)
 	if err != nil {
-		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidPattern, "%v", err))
+		if ctx.Err() != nil {
+			s.failFlight(w, fl, matchError(ctx.Err()))
+			return
+		}
+		s.failFlight(w, fl, Errorf(http.StatusBadRequest, CodeInvalidPattern, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusCreated, queryJSON(sq, false))
+	qj := queryJSON(sq, false)
+	fl.Finish(obs.OutcomeOK, "", qj.NumMatches)
+	writeJSON(w, http.StatusCreated, qj)
 }
 
 func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {

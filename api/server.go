@@ -38,6 +38,19 @@ type Config struct {
 	// default: profiles expose internals and belong on operator-facing
 	// listeners only.
 	EnablePprof bool
+	// EnableDebug turns on the query flight recorder and mounts the
+	// /v1/debug route group over it: the in-flight query table (with live
+	// stage and progress), the recent- and slow-query rings, and admin
+	// cancellation by request id. Off by default — the debug surface can
+	// cancel any tenant's query and belongs on operator-facing listeners
+	// only. Match responses are byte-identical either way.
+	EnableDebug bool
+	// SlowQueryThreshold classifies completed queries at or above this
+	// latency as slow: counted in slow_queries_total, kept in the
+	// /v1/debug/queries/slow ring, and logged through AccessLog with the
+	// full stage breakdown. Zero means 1s; negative disables slow
+	// classification. Only meaningful with EnableDebug.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +98,10 @@ type server struct {
 	store  *live.Store // nil on read-only deployments
 	cfg    Config
 	log    *slog.Logger // nil disables access logging
+	// flight records every in-flight and recently completed query when
+	// Config.EnableDebug is set; nil otherwise, and every recorder call on
+	// the serving path is a nil-safe no-op.
+	flight *obs.FlightRecorder
 }
 
 // routes builds the unified route tree: the /v1 endpoints plus the
@@ -92,6 +109,12 @@ type server struct {
 // the instrumentation middleware (metrics.go); /debug/pprof does not.
 func (s *server) routes() http.Handler {
 	registerProcessMetrics()
+	if s.cfg.EnableDebug {
+		s.flight = obs.NewFlightRecorder(obs.FlightConfig{
+			SlowThreshold: s.cfg.SlowQueryThreshold,
+			Log:           s.cfg.AccessLog,
+		})
+	}
 	rt := newRouter()
 	s.route(rt, "GET", Prefix+"/healthz", s.handleHealth)
 	s.route(rt, "GET", Prefix+"/graph", s.handleGraph)
@@ -105,6 +128,28 @@ func (s *server) routes() http.Handler {
 		s.route(rt, "GET", Prefix+"/queries/{id}", s.handleGetQuery)
 		s.route(rt, "DELETE", Prefix+"/queries/{id}", s.handleUnregister)
 		s.route(rt, "GET", Prefix+"/queries/{id}/delta", s.handleDelta)
+	}
+	if s.flight != nil {
+		// Literal routes win over the {request_id} wildcard in the Go 1.22
+		// mux, so /recent and /slow are never captured as ids. Their
+		// generated method-less 405 fallbacks would be ambiguous against the
+		// DELETE wildcard, though, so the wildcard's fallback answers wrong
+		// methods for the whole subtree with a path-sensitive Allow set.
+		s.route(rt, "GET", Prefix+"/debug/queries", s.handleDebugActive)
+		s.route(rt, "GET", Prefix+"/debug/queries/recent", s.handleDebugRecent)
+		s.route(rt, "GET", Prefix+"/debug/queries/slow", s.handleDebugSlow)
+		s.route(rt, "DELETE", Prefix+"/debug/queries/{request_id}", s.handleDebugCancel)
+		rt.noFallback[Prefix+"/debug/queries/recent"] = true
+		rt.noFallback[Prefix+"/debug/queries/slow"] = true
+		rt.custom[Prefix+"/debug/queries/{request_id}"] = func(w http.ResponseWriter, r *http.Request) {
+			allow := "DELETE"
+			if id := r.PathValue("request_id"); id == "recent" || id == "slow" {
+				allow = "GET"
+			}
+			w.Header().Set("Allow", allow)
+			writeError(w, Errorf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"%s does not allow %s (allowed: %s)", r.URL.Path, r.Method, allow))
+		}
 	}
 	s.legacyRoutes(rt)
 	if s.cfg.EnablePprof {
@@ -128,10 +173,21 @@ type router struct {
 	mux    *http.ServeMux
 	byPath map[string][]string // path -> methods registered
 	order  []string
+	// noFallback suppresses the generated method-less 405 handler for a
+	// path, and custom replaces it — needed where a literal path and a
+	// sibling wildcard would make the generated fallbacks ambiguous to the
+	// mux (the /v1/debug/queries tree).
+	noFallback map[string]bool
+	custom     map[string]http.HandlerFunc
 }
 
 func newRouter() *router {
-	return &router{mux: http.NewServeMux(), byPath: make(map[string][]string)}
+	return &router{
+		mux:        http.NewServeMux(),
+		byPath:     make(map[string][]string),
+		noFallback: make(map[string]bool),
+		custom:     make(map[string]http.HandlerFunc),
+	}
 }
 
 func (rt *router) handle(method, path string, h http.HandlerFunc) {
@@ -152,6 +208,13 @@ func (rt *router) raw(path string, h http.HandlerFunc) {
 
 func (rt *router) build() http.Handler {
 	for _, path := range rt.order {
+		if h := rt.custom[path]; h != nil {
+			rt.mux.HandleFunc(path, h)
+			continue
+		}
+		if rt.noFallback[path] {
+			continue
+		}
 		methods := rt.byPath[path]
 		sort.Strings(methods)
 		allow := strings.Join(methods, ", ")
@@ -331,18 +394,15 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
-	var trace *obs.QueryStats
-	if req.Query.Stats {
-		trace = new(obs.QueryStats)
-		opts.Trace = trace
-	}
+	trace := s.trace(&opts, req.Query.Stats)
+	fl := s.flightStart(r, "match", matchDigest(req), cancel, trace)
 
 	start := time.Now()
 	var resp MatchResponse
 	if req.Query.TopK > 0 {
 		ranked, stats, err := e.MatchTopK(ctx, q, req.Query.TopK, metric, opts)
 		if err != nil {
-			writeError(w, matchError(err))
+			s.failFlight(w, fl, matchError(err))
 			return
 		}
 		resp.Stats = FromStats(stats)
@@ -356,15 +416,19 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 	} else {
 		res, err := e.Match(ctx, q, opts)
 		if err != nil {
-			writeError(w, matchError(err))
+			s.failFlight(w, fl, matchError(err))
 			return
 		}
 		resp.Stats = FromStats(res.Stats)
 		resp.Matches = FromSubgraphs(res.Subgraphs)
 	}
-	if trace != nil {
+	// query_stats stays opt-in: the flight recorder may have forced a trace,
+	// but only "stats": true puts it on the wire — a recorder-on response is
+	// byte-identical to a recorder-off one.
+	if req.Query.Stats && trace != nil {
 		resp.QueryStats = FromQueryStats(trace)
 	}
+	fl.Finish(obs.OutcomeOK, "", len(resp.Matches))
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	reqInfo(r.Context()).setMatches(len(resp.Matches))
 	writeJSON(w, http.StatusOK, resp)
@@ -401,11 +465,8 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
-	var trace *obs.QueryStats
-	if req.Query.Stats {
-		trace = new(obs.QueryStats)
-		opts.Trace = trace
-	}
+	trace := s.trace(&opts, req.Query.Stats)
+	fl := s.flightStart(r, "stream", matchDigest(&req), cancel, trace)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -439,18 +500,13 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		aerr := matchError(err)
 		done.Code, done.Error = aerr.Code, aerr.Message
-		switch aerr.Code {
-		case CodeCancelled:
-			info.setOutcome("cancelled")
-		case CodeDeadlineExceeded:
-			info.setOutcome("deadline")
-		default:
-			info.setOutcome("error")
-		}
+		info.setOutcome(outcomeForCode(aerr.Code))
+		fl.Finish(outcomeForCode(aerr.Code), aerr.Message, count)
 	} else {
 		info.setOutcome("ok")
+		fl.Finish(obs.OutcomeOK, "", count)
 	}
-	if trace != nil {
+	if req.Query.Stats && trace != nil {
 		done.QueryStats = FromQueryStats(trace)
 	}
 	_ = enc.Encode(StreamEventJSON{Done: &done})

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -61,10 +62,35 @@ func New(baseURL string, opts ...Option) *Client {
 // the structured envelope.
 const errorBodyLimit = 1 << 20
 
+type (
+	requestIDKey        struct{}
+	requestIDCaptureKey struct{}
+)
+
+// WithRequestID returns a context that stamps id into the X-Request-Id
+// header of every call made with it, so a caller can correlate its own
+// requests with the server's access log and flight recorder
+// (/v1/debug/queries): the id names the query there and is the handle
+// CancelQuery takes. The server sanitizes unusable ids (and may suffix a
+// duplicate of a still-running query); read the id a call actually got with
+// WithEchoedRequestID, or from *api.Error.RequestID on failures.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// WithEchoedRequestID returns a context that copies the X-Request-Id the
+// server echoed into *dst after each call made with it (the last call
+// wins). It works for successes and failures alike; failures additionally
+// carry the id on *api.Error.RequestID.
+func WithEchoedRequestID(ctx context.Context, dst *string) context.Context {
+	return context.WithValue(ctx, requestIDCaptureKey{}, dst)
+}
+
 // decodeError turns a non-2xx response into an *api.Error, falling back to
 // the raw body when the server (or a proxy in front of it) answered
 // something unstructured.
 func decodeError(resp *http.Response) error {
+	reqID := resp.Header.Get(api.RequestIDHeader)
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
 	var e api.Error
 	if json.Unmarshal(raw, &e) == nil && e.Message != "" {
@@ -72,13 +98,14 @@ func decodeError(resp *http.Response) error {
 			e.Code = api.CodeUnavailable
 		}
 		e.Status = resp.StatusCode
+		e.RequestID = reqID
 		return &e
 	}
 	msg := strings.TrimSpace(string(raw))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return &api.Error{Code: api.CodeUnavailable, Message: msg, Status: resp.StatusCode}
+	return &api.Error{Code: api.CodeUnavailable, Message: msg, Status: resp.StatusCode, RequestID: reqID}
 }
 
 // roundTrip posts (or gets) one JSON request and decodes the response.
@@ -117,9 +144,15 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
+		req.Header.Set(api.RequestIDHeader, id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if dst, ok := ctx.Value(requestIDCaptureKey{}).(*string); ok && dst != nil {
+		*dst = resp.Header.Get(api.RequestIDHeader)
 	}
 	return resp, nil
 }
@@ -310,4 +343,49 @@ func (c *Client) PollDelta(ctx context.Context, id int64) (*api.DeltaJSON, error
 // UnregisterStandingQuery removes a standing query.
 func (c *Client) UnregisterStandingQuery(ctx context.Context, id int64) error {
 	return c.roundTrip(ctx, http.MethodDelete, fmt.Sprintf("%s/queries/%d", api.Prefix, id), nil, nil)
+}
+
+// The /v1/debug group mirrors the server's query flight recorder. The
+// routes exist only on servers started with api.Config.EnableDebug
+// (strongsimd -debug); against anything else every method fails with
+// *api.Error carrying api.CodeNotFound.
+
+// ActiveQueries lists the queries in flight right now, oldest first, each
+// with its live stage and balls-evaluated progress counter.
+func (c *Client) ActiveQueries(ctx context.Context) ([]api.ActiveQueryJSON, error) {
+	var out []api.ActiveQueryJSON
+	if err := c.roundTrip(ctx, http.MethodGet, api.Prefix+"/debug/queries", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RecentQueries returns the server's ring of recently completed queries,
+// newest first, with outcome, latency and the full stage trace.
+func (c *Client) RecentQueries(ctx context.Context) ([]api.QueryRecordJSON, error) {
+	var out []api.QueryRecordJSON
+	if err := c.roundTrip(ctx, http.MethodGet, api.Prefix+"/debug/queries/recent", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SlowQueries returns the ring of completed queries that crossed the
+// server's slow-query threshold, newest first.
+func (c *Client) SlowQueries(ctx context.Context) ([]api.QueryRecordJSON, error) {
+	var out []api.QueryRecordJSON
+	if err := c.roundTrip(ctx, http.MethodGet, api.Prefix+"/debug/queries/slow", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelQuery cancels the in-flight query registered under requestID (as
+// listed by ActiveQueries, or set on the originating call via
+// WithRequestID). The cancelled query fails on its own connection with
+// api.CodeCancelled and records outcome "cancelled" in RecentQueries.
+// Unknown — typically already finished — ids fail with api.CodeNotFound.
+func (c *Client) CancelQuery(ctx context.Context, requestID string) error {
+	return c.roundTrip(ctx, http.MethodDelete,
+		api.Prefix+"/debug/queries/"+url.PathEscape(requestID), nil, nil)
 }

@@ -182,6 +182,156 @@ func TestClientMatchStreamCancel(t *testing.T) {
 	}
 }
 
+// TestClientRequestIDPlumbing: WithRequestID stamps the header, the echoed
+// id comes back through WithEchoedRequestID, and failures carry it on
+// *api.Error.RequestID.
+func TestClientRequestIDPlumbing(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 8, 71)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 72})
+	cl := newEngineServer(t, g, api.Config{})
+
+	var echoed string
+	ctx := WithEchoedRequestID(WithRequestID(context.Background(), "sdk-trace-7"), &echoed)
+	if _, err := cl.MatchText(ctx, graph.FormatString(q), api.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+	if echoed != "sdk-trace-7" {
+		t.Fatalf("echoed id %q, want the supplied sdk-trace-7", echoed)
+	}
+
+	// Without a supplied id the server generates one; the capture still sees
+	// it.
+	echoed = ""
+	ctx = WithEchoedRequestID(context.Background(), &echoed)
+	if _, err := cl.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if echoed == "" {
+		t.Fatal("no generated request id captured")
+	}
+
+	// Failures carry the id on the structured error for log correlation.
+	var aerr *api.Error
+	if _, err := cl.MatchText(WithRequestID(context.Background(), "bad-call"), "", api.QuerySpec{}); !errors.As(err, &aerr) {
+		t.Fatalf("expected *api.Error, got %v", err)
+	}
+	if aerr.RequestID != "bad-call" {
+		t.Fatalf("error RequestID %q, want bad-call", aerr.RequestID)
+	}
+}
+
+// TestClientDebugEndpoints drives the /v1/debug SDK surface against a
+// debug-enabled server: recent/slow rings reflect completed calls under
+// their request ids, and CancelQuery answers not_found for ids no longer in
+// flight.
+func TestClientDebugEndpoints(t *testing.T) {
+	g := generator.Synthetic(300, 1.2, 8, 73)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 74})
+	// A nanosecond threshold makes every completed query slow, so the slow
+	// ring and the recent ring are both observable.
+	cl := newEngineServer(t, g, api.Config{EnableDebug: true, SlowQueryThreshold: time.Nanosecond})
+	ctx := context.Background()
+
+	if _, err := cl.MatchText(WithRequestID(ctx, "sdk-q1"), graph.FormatString(q), api.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	active, err := cl.ActiveQueries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(active) != 0 {
+		t.Errorf("ActiveQueries after completion = %v, want empty", active)
+	}
+	recent, err := cl.RecentQueries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recent) != 1 || recent[0].RequestID != "sdk-q1" || recent[0].Outcome != "ok" {
+		t.Fatalf("RecentQueries = %+v, want the one ok record for sdk-q1", recent)
+	}
+	if recent[0].Stats == nil || recent[0].Matches == 0 {
+		t.Errorf("record missing stats or matches: %+v", recent[0])
+	}
+	slow, err := cl.SlowQueries(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) != 1 || slow[0].RequestID != "sdk-q1" {
+		t.Fatalf("SlowQueries = %+v, want sdk-q1", slow)
+	}
+
+	// The query finished, so cancelling its id is a structured not_found.
+	var aerr *api.Error
+	if err := cl.CancelQuery(ctx, "sdk-q1"); !errors.As(err, &aerr) || aerr.Code != api.CodeNotFound {
+		t.Fatalf("CancelQuery of a finished id: %v, want not_found", err)
+	}
+
+	// Against a debug-off server the whole surface answers not_found.
+	off := newEngineServer(t, g, api.Config{})
+	if _, err := off.RecentQueries(ctx); !errors.As(err, &aerr) || aerr.Code != api.CodeNotFound {
+		t.Fatalf("RecentQueries against debug-off server: %v, want not_found", err)
+	}
+}
+
+// TestClientCancelQuery cancels a long in-flight match through the SDK and
+// asserts the caller observes the structured cancelled error.
+func TestClientCancelQuery(t *testing.T) {
+	g := generator.Synthetic(20000, 1.2, 4, 75)
+	e := engine.New(g, engine.Config{Workers: 1})
+	ts := httptest.NewServer(api.NewServer(e, api.Config{
+		EnableDebug:    true,
+		DefaultTimeout: time.Minute,
+		MaxTimeout:     time.Minute,
+	}))
+	t.Cleanup(ts.Close)
+	cl := New(ts.URL)
+	ctx := context.Background()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.MatchText(WithRequestID(ctx, "sdk-victim"),
+			"node a l0\nnode b l1\nedge a b\nedge b a", api.QuerySpec{Radius: 8})
+		errc <- err
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("sdk-victim never appeared in ActiveQueries")
+		}
+		active, err := cl.ActiveQueries(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, a := range active {
+			if a.RequestID == "sdk-victim" {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cl.CancelQuery(ctx, "sdk-victim"); err != nil {
+		t.Fatalf("CancelQuery: %v", err)
+	}
+	var aerr *api.Error
+	select {
+	case err := <-errc:
+		if !errors.As(err, &aerr) || aerr.Code != api.CodeCancelled {
+			t.Fatalf("cancelled match returned %v, want code cancelled", err)
+		}
+		if aerr.RequestID != "sdk-victim" {
+			t.Errorf("cancelled error RequestID %q, want sdk-victim", aerr.RequestID)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cancelled match did not return")
+	}
+}
+
 func TestClientStandingQueries(t *testing.T) {
 	b := graph.NewBuilder(nil)
 	labels := []string{"A", "B", "C"}

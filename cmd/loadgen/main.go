@@ -19,11 +19,17 @@
 // Loadgen exits non-zero when any request failed or when the run produced
 // zero successful matches — an empty result set means the sampled patterns
 // or the target graph are wrong, not that the server is fast.
+//
+// With -debug the self-hosted server mounts /v1/debug and, after the run,
+// loadgen audits the server's query flight recorder: the recent-queries
+// ring must be non-empty with no query recording outcome "error", and the
+// slow-query count is folded into the report (slow_queries).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -60,6 +66,7 @@ func main() {
 		patterns    = flag.Int("patterns", 8, "distinct patterns sampled from the graph")
 		mode        = flag.String("mode", api.ModePlus, "query mode (plain or plus)")
 		out         = flag.String("out", "BENCH_PR6.json", "report file ('-' for stdout)")
+		debugOn     = flag.Bool("debug", false, "enable /v1/debug on the self-hosted server and audit its flight recorder after the run")
 	)
 	flag.Parse()
 
@@ -68,7 +75,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	g, base, shutdown, err := target(*addr, *dataPath, *synthetic, *labels, *seed)
+	g, base, shutdown, err := target(*addr, *dataPath, *synthetic, *labels, *seed, *debugOn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,6 +133,7 @@ func main() {
 	rep.Config.Mix = *mixSpec
 	rep.Config.Mode = *mode
 	rep.Config.Patterns = *patterns
+	auditFlightRecorder(ctx, cl, rep, *debugOn)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -155,7 +163,7 @@ func main() {
 // live server over a loaded or synthesized graph. The returned graph is nil
 // for external targets with no -data (patterns are then sampled from
 // /v1/graph metadata — not supported; -data or -synthetic is required).
-func target(addr, dataPath string, synthetic, labels int, seed int64) (*graph.Graph, string, func(), error) {
+func target(addr, dataPath string, synthetic, labels int, seed int64, debug bool) (*graph.Graph, string, func(), error) {
 	var g *graph.Graph
 	switch {
 	case dataPath != "":
@@ -177,8 +185,45 @@ func target(addr, dataPath string, synthetic, labels int, seed int64) (*graph.Gr
 		return g, strings.TrimRight(addr, "/"), func() {}, nil
 	}
 	store := live.NewStore(g, live.Config{})
-	ts := httptest.NewServer(api.NewLiveServer(store, api.Config{}))
+	ts := httptest.NewServer(api.NewLiveServer(store, api.Config{EnableDebug: debug}))
 	return g, ts.URL, ts.Close, nil
+}
+
+// auditFlightRecorder cross-checks the run against the server's own query
+// flight recorder: every query the server recorded recently must have ended
+// ok, cancelled or deadline — a server-side "error" outcome that the client
+// tallies missed is a bug worth failing the run over — and the slow-query
+// count lands in the report. Targets without /v1/debug (external servers,
+// or self-hosted without -debug) are skipped with a warning; with -debug
+// set, an unreachable or empty recorder is fatal.
+func auditFlightRecorder(ctx context.Context, cl *client.Client, rep *Report, debug bool) {
+	recent, err := cl.RecentQueries(ctx)
+	if err != nil {
+		var aerr *api.Error
+		if errors.As(err, &aerr) && aerr.Code == api.CodeNotFound {
+			if debug {
+				log.Fatalf("flight recorder: target has no /v1/debug routes despite -debug: %v", err)
+			}
+			log.Printf("warning: target has no /v1/debug routes; skipping flight-recorder audit")
+			return
+		}
+		log.Fatalf("flight recorder: scraping recent queries: %v", err)
+	}
+	if len(recent) == 0 {
+		log.Fatal("flight recorder: recorded zero completed queries over the run")
+	}
+	for _, rec := range recent {
+		if rec.Outcome == "error" {
+			log.Fatalf("flight recorder: query %s (%s) recorded outcome error: %s",
+				rec.RequestID, rec.Kind, rec.Error)
+		}
+	}
+	slow, err := cl.SlowQueries(ctx)
+	if err != nil {
+		log.Fatalf("flight recorder: scraping slow queries: %v", err)
+	}
+	rep.SlowQueries = len(slow)
+	log.Printf("flight recorder: %d recent queries audited, %d slow", len(recent), len(slow))
 }
 
 func samplePatterns(g *graph.Graph, n int, seed int64) []string {
@@ -297,6 +342,7 @@ type Report struct {
 	TotalRequests      int64                    `json:"total_requests"`
 	TotalErrors        int64                    `json:"total_errors"`
 	TotalMatches       int64                    `json:"total_matches"`
+	SlowQueries        int                      `json:"slow_queries"`
 	Endpoints          map[string]EndpointStats `json:"endpoints"`
 	ServerMetricsDelta map[string]float64       `json:"server_metrics_delta"`
 }
@@ -371,7 +417,7 @@ func diffMetrics(before, after map[string]float64) map[string]float64 {
 	keep := func(name string) bool {
 		for _, p := range []string{
 			"http_requests_total", "http_request_seconds_count", "http_request_seconds_sum",
-			"exec_", "scratch_", "live_", "http_panics_total",
+			"exec_", "scratch_", "live_", "http_panics_total", "slow_",
 		} {
 			if strings.HasPrefix(name, p) {
 				return true

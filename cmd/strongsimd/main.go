@@ -23,8 +23,10 @@
 // Endpoints: GET /v1/healthz, GET /v1/graph, GET /v1/metrics (Prometheus
 // text exposition), POST /v1/match, POST /v1/match/stream, POST /v1/update,
 // POST/GET /v1/queries, GET/DELETE /v1/queries/{id},
-// GET /v1/queries/{id}/delta, and /debug/pprof behind -pprof. See API.md
-// for every schema and error code, and package client for the Go SDK.
+// GET /v1/queries/{id}/delta, /v1/debug/queries (in-flight introspection,
+// recent/slow rings, admin cancellation) behind -debug, and /debug/pprof
+// behind -pprof. See API.md for every schema and error code, and package
+// client for the Go SDK.
 package main
 
 import (
@@ -59,6 +61,8 @@ func main() {
 		maxBody    = flag.Int64("max-body", 8<<20, "request body cap in bytes")
 		quiet      = flag.Bool("quiet", false, "disable per-request access logs")
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (operator listeners only)")
+		debugOn    = flag.Bool("debug", false, "mount /v1/debug query introspection and cancellation (operator listeners only)")
+		slowQuery  = flag.Duration("slow-query", time.Second, "latency at or above which completed queries are recorded as slow (with -debug)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -102,11 +106,13 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: api.NewLiveServer(store, api.Config{
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			MaxBodyBytes:   *maxBody,
-			AccessLog:      accessLog,
-			EnablePprof:    *pprofOn,
+			DefaultTimeout:     *timeout,
+			MaxTimeout:         *maxTimeout,
+			MaxBodyBytes:       *maxBody,
+			AccessLog:          accessLog,
+			EnablePprof:        *pprofOn,
+			EnableDebug:        *debugOn,
+			SlowQueryThreshold: *slowQuery,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

@@ -129,6 +129,7 @@ type preparedQuery struct {
 // instead of running it to completion.
 func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions) (*preparedQuery, error) {
 	tr := opts.Trace
+	tr.EnterStage(obs.StagePrepare) // nil-safe
 	start := time.Now()
 	if q == nil || q.NumNodes() == 0 {
 		return nil, fmt.Errorf("engine: empty pattern graph")
@@ -152,6 +153,7 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 		tr.Prepare = time.Since(start)
 		start = time.Now()
 	}
+	tr.EnterStage(obs.StageFilter)
 
 	g := e.snap.g
 	var centerSet *graph.NodeSet
@@ -206,8 +208,8 @@ type ballOutcome struct {
 // callers must still see the context error) — and nil for a sink stop with a
 // live context, the Limit early exit. Cancellation is observed between
 // balls; a ball evaluation already underway runs to completion.
-func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, sink func(ballOutcome) bool) error {
-	return exec.Run(ctx, exec.Options{Workers: e.workers}, len(p.centers),
+func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, progress *obs.Progress, sink func(ballOutcome) bool) error {
+	return exec.Run(ctx, exec.Options{Workers: e.workers, Progress: progress}, len(p.centers),
 		func(s *exec.Scratch, pos int) ballOutcome {
 			center := p.centers[pos]
 			ball := e.snap.BallIn(&s.Balls, center, p.radius)
@@ -231,7 +233,10 @@ func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts cor
 // internal/live uses this to re-evaluate the dirty centers of a standing
 // query after an update batch; the outcomes are interchangeable with those
 // Match computed for the same centers.
-func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, centers []int32, report func(i int, ps *core.PerfectSubgraph)) error {
+// trace, when non-nil, records the evaluation like a traced Match would
+// (candidate centers, per-ball sizes, eval wall time, live stage/progress);
+// nil adds no per-ball work.
+func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, centers []int32, trace *obs.QueryStats, report func(i int, ps *core.PerfectSubgraph)) error {
 	if q == nil || q.NumNodes() == 0 {
 		return fmt.Errorf("engine: empty pattern graph")
 	}
@@ -243,10 +248,21 @@ func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, ce
 		radius = dq
 	}
 	p := &preparedQuery{qEff: q, radius: radius, centers: centers}
-	return e.evalCenters(ctx, p, core.Options{}, func(o ballOutcome) bool {
+	trace.EnterStage(obs.StageEval) // nil-safe
+	var evalStart time.Time
+	if trace != nil {
+		trace.CandidateCenters = len(centers)
+		evalStart = time.Now()
+	}
+	err := e.evalCenters(ctx, p, core.Options{}, trace.Live(), func(o ballOutcome) bool {
+		trace.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		report(o.pos, o.ps)
 		return true
 	})
+	if trace != nil {
+		trace.Eval += time.Since(evalStart)
+	}
+	return err
 }
 
 func foldStats(dst *core.Stats, src core.Stats) {
@@ -280,8 +296,9 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	// with graph size when the prefilter leaves few viable centers.
 	out := make([]*core.PerfectSubgraph, len(p.centers))
 	tr := opts.Trace
+	tr.EnterStage(obs.StageEval)
 	evalStart := time.Now()
-	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
+	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), func(o ballOutcome) bool {
 		foldStats(&res.Stats, o.stats)
 		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		out[o.pos] = o.ps
@@ -294,6 +311,7 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	if tr != nil {
 		tr.Eval = mergeStart.Sub(evalStart)
 	}
+	tr.EnterStage(obs.StageMerge)
 
 	res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
 	core.SortSubgraphs(res.Subgraphs)
@@ -320,6 +338,7 @@ func (e *Engine) matchLimited(ctx context.Context, q *graph.Graph, opts QueryOpt
 		return nil, err
 	}
 	res.Stats = stats
+	opts.Trace.EnterStage(obs.StageMerge)
 	mergeStart := time.Now()
 	core.SortSubgraphs(res.Subgraphs)
 	if tr := opts.Trace; tr != nil {
@@ -342,10 +361,11 @@ func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emi
 	}
 
 	tr := opts.Trace
+	tr.EnterStage(obs.StageEval)
 	evalStart := time.Now()
 	dedup := core.NewDeduper()
 	emitted := 0
-	err = e.evalCenters(ctx, p, opts.coreOptions(), func(o ballOutcome) bool {
+	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), func(o ballOutcome) bool {
 		foldStats(&stats, o.stats)
 		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		if !dedup.Admit(o.ps, &stats) {
@@ -426,6 +446,7 @@ func (e *Engine) MatchTopK(ctx context.Context, q *graph.Graph, k int, metric co
 	if err != nil {
 		return nil, stats, err
 	}
+	opts.Trace.EnterStage(obs.StageMerge)
 	mergeStart := time.Now()
 	ranked := top.ranked()
 	if tr := opts.Trace; tr != nil {

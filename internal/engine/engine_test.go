@@ -327,7 +327,7 @@ func TestEvalCentersMatchesPlainMatch(t *testing.T) {
 
 	centers := e.Snapshot().CandidateCenters(q).Slice()
 	perCenter := make([]*core.PerfectSubgraph, len(centers))
-	err := e.EvalCenters(context.Background(), q, 0, centers, func(i int, ps *core.PerfectSubgraph) {
+	err := e.EvalCenters(context.Background(), q, 0, centers, nil, func(i int, ps *core.PerfectSubgraph) {
 		perCenter[i] = ps
 	})
 	if err != nil {
@@ -339,7 +339,7 @@ func TestEvalCentersMatchesPlainMatch(t *testing.T) {
 	if !reflect.DeepEqual(got, want.Subgraphs) {
 		t.Fatalf("EvalCenters outcomes diverge: %d subgraphs vs %d", len(got), want.Len())
 	}
-	if err := e.EvalCenters(context.Background(), nil, 0, nil, nil); err == nil {
+	if err := e.EvalCenters(context.Background(), nil, 0, nil, nil, nil); err == nil {
 		t.Fatal("nil pattern should be rejected")
 	}
 }

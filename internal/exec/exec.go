@@ -92,6 +92,12 @@ type Options struct {
 	// 1 runs sequentially (deterministic, in position order, on the calling
 	// goroutine).
 	Workers int
+	// Progress, when non-nil, is ticked once per completed evaluation — the
+	// live balls-evaluated counter the query flight recorder exposes for
+	// in-flight queries. Ticks happen on the evaluating goroutine, one
+	// atomic add each; a nil Progress costs one predictable branch, keeping
+	// the recorder-off path allocation-free.
+	Progress *obs.Progress
 }
 
 func (o Options) workers(n int) int {
@@ -160,6 +166,7 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 			v := eval(s, pos)
 			poolWorkersBusy.Dec()
 			poolTasks.Inc()
+			opts.Progress.Tick()
 			if !sink(pos, v) {
 				break
 			}
@@ -187,6 +194,7 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 				v := eval(s, pos)
 				poolWorkersBusy.Dec()
 				poolTasks.Inc()
+				opts.Progress.Tick()
 				select {
 				case results <- outcome[T]{pos: pos, v: v}:
 				case <-runCtx.Done():

@@ -11,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/generator"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // TestRunSequentialDeterministic: Workers 1 must call eval and sink
@@ -189,6 +190,51 @@ func TestBallEvalAllocsPerOp(t *testing.T) {
 		t.Fatalf("ball evaluation allocates %.2f times per center; the scratch path must stay under 8", allocs)
 	}
 	t.Logf("ball evaluation: %.2f allocs per center", allocs)
+}
+
+// TestRunProgressTicks: a supplied Progress counts exactly one tick per
+// completed evaluation, on the sequential and pooled paths alike.
+func TestRunProgressTicks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := new(obs.Progress)
+		const n = 257
+		err := exec.Run(context.Background(), exec.Options{Workers: workers, Progress: p}, n,
+			func(_ *exec.Scratch, pos int) int { return pos },
+			func(pos, v int) bool { return true })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := p.Balls(); got != n {
+			t.Fatalf("workers=%d: progress counted %d balls, want %d", workers, got, n)
+		}
+	}
+}
+
+// TestRunProgressAllocFree pins the flight-recorder contract on the pool:
+// threading a Progress through a run adds no allocations over the nil
+// (recorder-off) path — the tick is one atomic add behind one branch.
+func TestRunProgressAllocFree(t *testing.T) {
+	eval := func(_ *exec.Scratch, pos int) int { return pos }
+	sink := func(pos, v int) bool { return true }
+	runWith := func(p *obs.Progress) {
+		if err := exec.Run(context.Background(), exec.Options{Workers: 1, Progress: p}, 64, eval, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := testing.AllocsPerRun(200, func() { runWith(nil) })
+	p := new(obs.Progress)
+	withProgress := testing.AllocsPerRun(200, func() { runWith(p) })
+	if withProgress > base {
+		t.Fatalf("progress ticking allocates: %.2f allocs/run with Progress vs %.2f without", withProgress, base)
+	}
+	// A sequential run allocates its Scratch and nothing else per ball.
+	if base > 3 {
+		t.Fatalf("recorder-off run allocates %.2f times, want <= 3", base)
+	}
+	if p.Balls() == 0 {
+		t.Fatal("progress never ticked")
+	}
+	t.Logf("allocs/run: %.2f without progress, %.2f with", base, withProgress)
 }
 
 // TestExecMatchesCoreGolden cross-checks the executor end to end: MatchCtx

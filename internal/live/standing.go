@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // StandingQuery is one registered pattern whose full strong-simulation
@@ -60,6 +61,18 @@ func (sq *StandingQuery) Radius() int { return sq.radius }
 // version, and keeps its result set maintained across every future update
 // batch until Unregister. The pattern must be non-empty and connected.
 func (s *Store) Register(patternSrc string) (*StandingQuery, error) {
+	return s.RegisterCtx(context.Background(), patternSrc, nil)
+}
+
+// RegisterCtx is Register with a context bounding the initial full
+// evaluation (the expensive part of registration — every candidate center
+// gets a ball) and an optional trace receiving its stage statistics and
+// live progress. When ctx ends mid-evaluation the registration fails with
+// ctx's error and no query is registered; interned pattern labels stay, as
+// after any failed parse. Maintenance after future update batches is not
+// affected — it always runs to completion so the per-center cache is never
+// left half-updated.
+func (s *Store) RegisterCtx(ctx context.Context, patternSrc string, trace *obs.QueryStats) (*StandingQuery, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -96,7 +109,7 @@ func (s *Store) Register(patternSrc string) (*StandingQuery, error) {
 
 	// Initial evaluation: every candidate center, on the engine's pool.
 	centers := candidateCenters(q, s.byLabel, len(s.nodeLbl))
-	if err := evalInto(ver.eng, q, sq.radius, centers, sq.perCenter); err != nil {
+	if err := evalInto(ctx, ver.eng, q, sq.radius, centers, trace, sq.perCenter); err != nil {
 		return nil, err
 	}
 	st := &queryState{version: ver.id, fromVersion: ver.id, result: assemble(sq.perCenter)}
@@ -198,7 +211,7 @@ func (s *Store) maintainLocked(sq *StandingQuery, ver *Version, dirty []int32) i
 	if len(eval) > 0 {
 		// The error path is unreachable: the pattern was validated at
 		// registration and the context cannot expire.
-		_ = evalInto(ver.eng, sq.pattern, sq.radius, eval, sq.perCenter)
+		_ = evalInto(context.Background(), ver.eng, sq.pattern, sq.radius, eval, nil, sq.perCenter)
 		changed = true
 	}
 
@@ -245,8 +258,8 @@ func candidateCenters(q *graph.Graph, byLabel map[int32][]int32, n int) []int32 
 
 // evalInto evaluates the given centers on the engine's worker pool and
 // writes each outcome into perCenter at the center's own id.
-func evalInto(e *engine.Engine, q *graph.Graph, radius int, centers []int32, perCenter []*core.PerfectSubgraph) error {
-	return e.EvalCenters(context.Background(), q, radius, centers, func(i int, ps *core.PerfectSubgraph) {
+func evalInto(ctx context.Context, e *engine.Engine, q *graph.Graph, radius int, centers []int32, trace *obs.QueryStats, perCenter []*core.PerfectSubgraph) error {
+	return e.EvalCenters(ctx, q, radius, centers, trace, func(i int, ps *core.PerfectSubgraph) {
 		perCenter[centers[i]] = ps
 	})
 }

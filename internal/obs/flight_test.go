@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestRecorder builds a recorder over a private registry so its gauge and
+// counter never collide with the process-wide Default shared by other tests.
+func newTestRecorder(cfg FlightConfig) (*FlightRecorder, *Registry) {
+	reg := NewRegistry()
+	cfg.Registry = reg
+	return NewFlightRecorder(cfg), reg
+}
+
+// TestFlightLifecycle walks one query through the recorder: registration
+// shows in the active table, live progress (stage + balls) is visible while
+// the query runs, and Finish moves it into the recent ring with a pure
+// snapshot of its stats.
+func TestFlightLifecycle(t *testing.T) {
+	fr, reg := newTestRecorder(FlightConfig{SlowThreshold: -1})
+	stats := new(QueryStats)
+	fl := fr.Start("req-1", "match", "deadbeef00000000", nil, stats)
+	if fl.RequestID() != "req-1" {
+		t.Fatalf("request id %q, want req-1", fl.RequestID())
+	}
+	if stats.Progress == nil {
+		t.Fatal("Start did not attach a Progress to the trace")
+	}
+	if got := fr.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	if got := reg.Gauge("inflight_queries", "").Value(); got != 1 {
+		t.Fatalf("inflight_queries = %d, want 1", got)
+	}
+
+	// The serving path publishes progress through the trace; the debug
+	// handler reads it through Active while the query still runs.
+	stats.EnterStage(StageEval)
+	stats.Live().Tick()
+	stats.Live().Tick()
+	active := fr.Active()
+	if len(active) != 1 {
+		t.Fatalf("Active() = %v, want one entry", active)
+	}
+	a := active[0]
+	if a.RequestID != "req-1" || a.Kind != "match" || a.Digest != "deadbeef00000000" {
+		t.Errorf("active entry identity wrong: %+v", a)
+	}
+	if a.Stage != StageEval || a.Balls != 2 {
+		t.Errorf("live progress stage=%v balls=%d, want eval/2", a.Stage, a.Balls)
+	}
+	if a.Elapsed < 0 {
+		t.Errorf("negative elapsed %v", a.Elapsed)
+	}
+
+	stats.CandidateCenters = 7
+	stats.ObserveBall(5, 9)
+	fl.Finish(OutcomeOK, "", 3)
+	if got := fr.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Finish = %d, want 0", got)
+	}
+	if got := reg.Gauge("inflight_queries", "").Value(); got != 0 {
+		t.Fatalf("inflight_queries after Finish = %d, want 0", got)
+	}
+	recent := fr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("Recent() = %v, want one record", recent)
+	}
+	rec := recent[0]
+	if rec.RequestID != "req-1" || rec.Outcome != OutcomeOK || rec.Matches != 3 {
+		t.Errorf("record %+v", rec)
+	}
+	if rec.Stats.CandidateCenters != 7 || rec.Stats.BallsBuilt != 1 {
+		t.Errorf("record stats not snapshotted: %+v", rec.Stats)
+	}
+	if rec.Stats.Progress != nil {
+		t.Error("record kept a live Progress pointer; want a pure snapshot")
+	}
+	if rec.Latency < 0 {
+		t.Errorf("negative latency %v", rec.Latency)
+	}
+}
+
+// TestFlightIDMinting: empty ids get generated ones, and an id colliding
+// with a still-running query is suffixed so both stay addressable.
+func TestFlightIDMinting(t *testing.T) {
+	fr, _ := newTestRecorder(FlightConfig{SlowThreshold: -1})
+	anon := fr.Start("", "match", "d", nil, nil)
+	if anon.RequestID() == "" {
+		t.Fatal("empty id not replaced with a generated one")
+	}
+	first := fr.Start("dup", "match", "d", nil, nil)
+	second := fr.Start("dup", "match", "d", nil, nil)
+	if first.RequestID() != "dup" {
+		t.Fatalf("first registration got %q, want dup", first.RequestID())
+	}
+	if second.RequestID() == "dup" || !strings.HasPrefix(second.RequestID(), "dup#") {
+		t.Fatalf("colliding registration got %q, want dup#<seq>", second.RequestID())
+	}
+	if got := fr.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+	// The suffixed id is what Active serves, so Cancel can address it.
+	ids := map[string]bool{}
+	for _, a := range fr.Active() {
+		ids[a.RequestID] = true
+	}
+	for _, want := range []string{anon.RequestID(), "dup", second.RequestID()} {
+		if !ids[want] {
+			t.Errorf("Active() missing %q: %v", want, ids)
+		}
+	}
+	// A Finish of the suffixed flight must not evict the original.
+	second.Finish(OutcomeOK, "", 0)
+	if got := fr.InFlight(); got != 2 {
+		t.Fatalf("InFlight after suffixed Finish = %d, want 2", got)
+	}
+	anon.Finish(OutcomeOK, "", 0)
+	first.Finish(OutcomeOK, "", 0)
+}
+
+// TestFlightRingWrap: the recent ring overwrites oldest-first and snapshots
+// newest-first.
+func TestFlightRingWrap(t *testing.T) {
+	fr, _ := newTestRecorder(FlightConfig{RecentSize: 3, SlowThreshold: -1})
+	for i := 1; i <= 5; i++ {
+		fr.Start(fmt.Sprintf("r-%d", i), "match", "d", nil, nil).Finish(OutcomeOK, "", i)
+	}
+	recent := fr.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(recent))
+	}
+	for i, want := range []string{"r-5", "r-4", "r-3"} {
+		if recent[i].RequestID != want {
+			t.Fatalf("recent[%d] = %q, want %q (newest first)", i, recent[i].RequestID, want)
+		}
+	}
+}
+
+// TestFlightSlowClassification: a completed query at or above the threshold
+// lands in the slow ring, bumps slow_queries_total, and emits one structured
+// warning with the stage breakdown; a negative threshold disables all of it.
+func TestFlightSlowClassification(t *testing.T) {
+	var logBuf bytes.Buffer
+	fr, reg := newTestRecorder(FlightConfig{
+		SlowThreshold: time.Nanosecond,
+		Log:           slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	stats := &QueryStats{CandidateCenters: 4, Eval: 2 * time.Millisecond}
+	fl := fr.Start("slow-1", "match", "d", nil, stats)
+	time.Sleep(time.Microsecond) // any positive latency crosses a 1ns threshold
+	fl.Finish(OutcomeOK, "", 2)
+
+	if got := reg.Counter("slow_queries_total", "").Value(); got != 1 {
+		t.Fatalf("slow_queries_total = %d, want 1", got)
+	}
+	slow := fr.Slow()
+	if len(slow) != 1 || slow[0].RequestID != "slow-1" {
+		t.Fatalf("Slow() = %v, want the one slow record", slow)
+	}
+	var line map[string]any
+	if err := json.Unmarshal(logBuf.Bytes(), &line); err != nil {
+		t.Fatalf("slow log is not one JSON line: %v (%s)", err, logBuf.Bytes())
+	}
+	if line["msg"] != "slow query" || line["level"] != "WARN" {
+		t.Errorf("log line %v, want a 'slow query' warning", line)
+	}
+	for _, k := range []string{"request_id", "kind", "digest", "outcome", "latency_ms",
+		"matches", "candidate_centers", "balls_built", "ball_nodes", "ball_edges",
+		"prepare_ms", "filter_ms", "eval_ms", "merge_ms"} {
+		if _, ok := line[k]; !ok {
+			t.Errorf("slow log line missing %q: %v", k, line)
+		}
+	}
+	if line["request_id"] != "slow-1" || line["candidate_centers"] != float64(4) {
+		t.Errorf("slow log values wrong: %v", line)
+	}
+
+	// Negative threshold: nothing is slow, nothing is logged.
+	var quiet bytes.Buffer
+	off, offReg := newTestRecorder(FlightConfig{
+		SlowThreshold: -1,
+		Log:           slog.New(slog.NewJSONHandler(&quiet, nil)),
+	})
+	off.Start("fast", "match", "d", nil, nil).Finish(OutcomeOK, "", 0)
+	if len(off.Slow()) != 0 || offReg.Counter("slow_queries_total", "").Value() != 0 || quiet.Len() != 0 {
+		t.Error("negative threshold still classified a query as slow")
+	}
+}
+
+// TestFlightCancel: Cancel fires the registered cancel func exactly for
+// in-flight ids and reports not-found for everything else.
+func TestFlightCancel(t *testing.T) {
+	fr, _ := newTestRecorder(FlightConfig{SlowThreshold: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	fl := fr.Start("victim", "match", "d", cancel, nil)
+
+	if fr.Cancel("no-such-id") {
+		t.Error("Cancel of an unknown id reported found")
+	}
+	if !fr.Cancel("victim") {
+		t.Fatal("Cancel of an in-flight id reported not found")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("Cancel did not fire the cancel func")
+	}
+	// The query observes its context and records through its own exit path.
+	fl.Finish(OutcomeCancelled, "request cancelled", 0)
+	if fr.Cancel("victim") {
+		t.Error("Cancel of a finished id reported found")
+	}
+	if rec := fr.Recent(); len(rec) != 1 || rec[0].Outcome != OutcomeCancelled {
+		t.Fatalf("Recent() = %v, want one cancelled record", rec)
+	}
+}
+
+// TestFlightDoubleFinish: only the first Finish records; a retried exit path
+// cannot double-decrement the gauge or duplicate the record.
+func TestFlightDoubleFinish(t *testing.T) {
+	fr, reg := newTestRecorder(FlightConfig{SlowThreshold: -1})
+	fl := fr.Start("once", "match", "d", nil, nil)
+	fl.Finish(OutcomeError, "boom", 0)
+	fl.Finish(OutcomeOK, "", 9)
+	if got := len(fr.Recent()); got != 1 {
+		t.Fatalf("double Finish recorded %d records, want 1", got)
+	}
+	if rec := fr.Recent()[0]; rec.Outcome != OutcomeError || rec.Matches != 0 {
+		t.Fatalf("second Finish overwrote the first: %+v", rec)
+	}
+	if got := reg.Gauge("inflight_queries", "").Value(); got != 0 {
+		t.Fatalf("inflight_queries = %d after double Finish, want 0", got)
+	}
+}
+
+// TestFlightNilSafety: the recorder-off path passes nil recorders and nil
+// flights through the whole serving surface; every call must be a no-op.
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	fl := fr.Start("id", "match", "d", nil, nil)
+	if fl != nil {
+		t.Fatal("nil recorder returned a non-nil Flight")
+	}
+	fl.Finish(OutcomeOK, "", 1) // must not panic
+	if fl.RequestID() != "" {
+		t.Error("nil Flight has a request id")
+	}
+	if fr.Active() != nil || fr.Recent() != nil || fr.Slow() != nil {
+		t.Error("nil recorder served non-nil tables")
+	}
+	if fr.Cancel("x") || fr.InFlight() != 0 {
+		t.Error("nil recorder found queries")
+	}
+
+	var p *Progress
+	p.SetStage(StageMerge)
+	p.Tick()
+	if p.Stage() != StagePrepare || p.Balls() != 0 {
+		t.Error("nil Progress reported progress")
+	}
+	var qs *QueryStats
+	qs.EnterStage(StageEval)
+	qs.ObserveBall(1, 1)
+	if qs.Live() != nil {
+		t.Error("nil QueryStats has a live view")
+	}
+}
+
+// TestStageString pins the wire names /v1/debug serves.
+func TestStageString(t *testing.T) {
+	for s, want := range map[Stage]string{
+		StagePrepare: "prepare",
+		StageFilter:  "filter",
+		StageEval:    "eval",
+		StageMerge:   "merge",
+		Stage(99):    "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestFlightConcurrentUse hammers one recorder from many goroutines —
+// registrations, finishes, cancels and table scrapes interleaving — so `go
+// test -race` certifies the locking.
+func TestFlightConcurrentUse(t *testing.T) {
+	fr, _ := newTestRecorder(FlightConfig{RecentSize: 8, SlowThreshold: -1})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				stats := new(QueryStats)
+				_, cancel := context.WithCancel(context.Background())
+				fl := fr.Start(fmt.Sprintf("w%d-%d", w, i), "match", "d", cancel, stats)
+				stats.EnterStage(StageEval)
+				stats.Live().Tick()
+				if i%3 == 0 {
+					fr.Cancel(fl.RequestID())
+					fl.Finish(OutcomeCancelled, "cancelled", 0)
+				} else {
+					fl.Finish(OutcomeOK, "", 1)
+				}
+				cancel()
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		fr.Active()
+		fr.Recent()
+		fr.Slow()
+		fr.InFlight()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := fr.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all finished, want 0", got)
+	}
+}

@@ -71,12 +71,17 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// DefBuckets are the default latency buckets in seconds: 100µs to 10s,
-// roughly logarithmic — wide enough for both sub-millisecond cached matches
-// and multi-second cold sweeps.
+// DefBuckets are the default latency buckets in seconds: 100µs to 60s,
+// roughly logarithmic with extra resolution in the 10–25ms band. The band
+// was widened after auditing BENCH_PR6 (loadgen /v1/match p50 7.9ms,
+// p95 13.6ms, p99 19.4ms): with a bare 0.01→0.025 step both tail quantiles
+// collapsed into the same bucket, so histogram_quantile could not tell a
+// 12ms p95 from a 24ms p99. The top end extends to 60s to match the
+// server's MaxTimeout default — before, anything past 10s (slow queries,
+// the very thing worth measuring) fell into +Inf.
 func DefBuckets() []float64 {
 	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+		0.015, 0.02, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
 }
 
 // Histogram counts observations into fixed buckets (cumulative at render

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -172,6 +174,142 @@ func TestLabelEscaping(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c"} 1`) {
 		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+// TestDefBuckets audits the default latency buckets against the BENCH_PR6
+// loadgen quantiles (/v1/match p50 7.9ms, p95 13.6ms, p99 19.4ms): the
+// bounds must be strictly increasing, resolve the 5–25ms band finely enough
+// that those three quantiles land in different buckets, and reach the 60s
+// MaxTimeout default so slow queries don't vanish into +Inf.
+func TestDefBuckets(t *testing.T) {
+	b := DefBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not strictly increasing at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	bucketFor := func(v float64) int {
+		for i, bound := range b {
+			if v <= bound {
+				return i
+			}
+		}
+		return len(b) // +Inf
+	}
+	p50, p95, p99 := bucketFor(0.0079), bucketFor(0.0136), bucketFor(0.0194)
+	if p50 == p95 || p95 == p99 {
+		t.Errorf("BENCH_PR6 quantiles collapse: p50/p95/p99 land in buckets %d/%d/%d of %v",
+			p50, p95, p99, b)
+	}
+	if top := b[len(b)-1]; top < 60 {
+		t.Errorf("top bucket %v s < the 60s MaxTimeout default; slow queries fall into +Inf", top)
+	}
+}
+
+// TestHistogramRenderedMonotone observes values across the whole DefBuckets
+// range — including one past the top bound — and asserts the rendered
+// exposition keeps the cumulative-bucket invariants a scraper depends on:
+// counts non-decreasing by bound and le="+Inf" equal to _count.
+func TestHistogramRenderedMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("audit_seconds", "bucket audit", DefBuckets())
+	for _, v := range []float64{0.00005, 0.003, 0.0079, 0.0136, 0.0194, 0.4, 7, 75} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, sb.String())
+	}
+	prev := -1.0
+	for _, bound := range DefBuckets() {
+		key := fmt.Sprintf(`audit_seconds_bucket{le="%s"}`, strconv.FormatFloat(bound, 'g', -1, 64))
+		v, ok := vals[key]
+		if !ok {
+			t.Fatalf("rendered exposition missing bucket %s:\n%s", key, sb.String())
+		}
+		if v < prev {
+			t.Fatalf("bucket %s = %v below previous %v; cumulative counts must be monotone", key, v, prev)
+		}
+		prev = v
+	}
+	inf := vals[`audit_seconds_bucket{le="+Inf"}`]
+	if inf < prev {
+		t.Fatalf("+Inf bucket %v below last finite bucket %v", inf, prev)
+	}
+	if count := vals["audit_seconds_count"]; inf != count || count != 8 {
+		t.Fatalf("+Inf bucket %v != count %v (want 8)", inf, count)
+	}
+}
+
+// TestParseTextEdgeCases feeds ParseText the corners of the exposition
+// grammar WritePrometheus can emit — escaped label values, a '}' inside a
+// label value, exponent floats, +Inf as value and as le bound, trailing
+// whitespace and an optional timestamp — plus the malformed lines it must
+// reject.
+func TestParseTextEdgeCases(t *testing.T) {
+	input := "# HELP esc_total escaping\n" +
+		"# TYPE esc_total counter\n" +
+		`esc_total{path="a\"b\\c"} 3` + "\n" +
+		`brace_total{expr="x}y"} 2` + "\n" +
+		"tiny_val 1.5e-05\n" +
+		"big_val 2E+3\n" +
+		"inf_val +Inf\n" +
+		`lat_bucket{le="+Inf"} 7` + "\n" +
+		"trailing_val 4   \t\n" +
+		"   indented_val 6\n" +
+		"stamped_val 5 1700000000000\n" +
+		"\n"
+	vals, err := ParseText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[`esc_total{path="a\"b\\c"}`] != 3 {
+		t.Errorf("escaped label value: %v", vals)
+	}
+	if vals[`brace_total{expr="x}y"}`] != 2 {
+		t.Errorf("label value containing '}': %v", vals)
+	}
+	if vals["tiny_val"] != 1.5e-05 || vals["big_val"] != 2000 {
+		t.Errorf("exponent floats: tiny=%v big=%v", vals["tiny_val"], vals["big_val"])
+	}
+	if !math.IsInf(vals["inf_val"], 1) {
+		t.Errorf("inf_val = %v, want +Inf", vals["inf_val"])
+	}
+	if vals[`lat_bucket{le="+Inf"}`] != 7 {
+		t.Errorf("+Inf bucket key: %v", vals)
+	}
+	if vals["trailing_val"] != 4 || vals["indented_val"] != 6 {
+		t.Errorf("whitespace handling: trailing=%v indented=%v", vals["trailing_val"], vals["indented_val"])
+	}
+	if vals["stamped_val"] != 5 {
+		t.Errorf("timestamped sample: %v, want 5", vals["stamped_val"])
+	}
+
+	for _, bad := range []string{"lonely_name", `half{label="x"}`, "nan_ish abc"} {
+		if _, err := ParseText(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("ParseText accepted malformed line %q", bad)
+		}
+	}
+
+	// Round-trip: what WritePrometheus renders for a pathological label value
+	// parses back to the same sample.
+	r := NewRegistry()
+	r.Counter("rt_total", "round trip", "path", `q"u\o}te`).Add(11)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("round trip does not parse: %v\n%s", err, sb.String())
+	}
+	if back[`rt_total{path="q\"u\\o}te"}`] != 11 {
+		t.Errorf("round trip lost the sample: %v\n%s", back, sb.String())
 	}
 }
 

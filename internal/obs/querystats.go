@@ -1,6 +1,85 @@
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one phase of a query's execution, following the paper's cost
+// model: prepare (validation plus query minimization), filter (candidate
+// center selection or the global dual-simulation filter of Match+), eval
+// (the parallel ball-evaluation phase — the dominant term, dQ-hop BFS per
+// center), merge (dedup, ordering, relation expansion, ranking).
+type Stage int32
+
+// Stages in execution order. A query may revisit StageEval after StageMerge
+// only on batch paths; single queries progress monotonically.
+const (
+	StagePrepare Stage = iota
+	StageFilter
+	StageEval
+	StageMerge
+)
+
+// String returns the wire name of the stage, as served by /v1/debug.
+func (s Stage) String() string {
+	switch s {
+	case StagePrepare:
+		return "prepare"
+	case StageFilter:
+		return "filter"
+	case StageEval:
+		return "eval"
+	case StageMerge:
+		return "merge"
+	default:
+		return "unknown"
+	}
+}
+
+// Progress is the live, concurrency-safe view of one in-flight query: the
+// stage it is currently in and a balls-evaluated counter ticked by the exec
+// pool's workers. The flight recorder attaches one Progress per tracked
+// query and the /v1/debug handlers read it while the query runs; both sides
+// touch only the two atomics below. All methods are nil-safe no-ops so the
+// serving path can publish progress unconditionally — an untracked query
+// pays one predictable branch and allocates nothing.
+type Progress struct {
+	stage atomic.Int32
+	balls atomic.Int64
+}
+
+// SetStage publishes a stage transition. Nil-safe.
+func (p *Progress) SetStage(s Stage) {
+	if p != nil {
+		p.stage.Store(int32(s))
+	}
+}
+
+// Stage returns the last published stage (StagePrepare before any
+// transition). Nil-safe.
+func (p *Progress) Stage() Stage {
+	if p == nil {
+		return StagePrepare
+	}
+	return Stage(p.stage.Load())
+}
+
+// Tick records one evaluated ball. Called from exec worker goroutines; a
+// single atomic add. Nil-safe.
+func (p *Progress) Tick() {
+	if p != nil {
+		p.balls.Add(1)
+	}
+}
+
+// Balls returns the number of balls evaluated so far. Nil-safe.
+func (p *Progress) Balls() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.balls.Load()
+}
 
 // QueryStats is the per-query stage trace of one match execution: where the
 // wall time went (the paper's cost model — ball construction dominated by
@@ -34,6 +113,31 @@ type QueryStats struct {
 	Filter  time.Duration
 	Eval    time.Duration
 	Merge   time.Duration
+
+	// Progress, when non-nil, additionally receives live atomic updates —
+	// stage transitions and a per-ball counter — readable from other
+	// goroutines while the query runs. The flight recorder attaches one in
+	// Flight creation; a plain "stats": true trace leaves it nil. Progress
+	// is the only field of a QueryStats that may be touched concurrently.
+	Progress *Progress
+}
+
+// EnterStage publishes a stage transition to the live progress view. A nil
+// receiver or a nil Progress is a no-op, so the engine can mark transitions
+// unconditionally on every path.
+func (qs *QueryStats) EnterStage(s Stage) {
+	if qs != nil {
+		qs.Progress.SetStage(s)
+	}
+}
+
+// Live returns the live progress view to thread into the exec pool; nil
+// when the query is untracked. Nil-safe.
+func (qs *QueryStats) Live() *Progress {
+	if qs == nil {
+		return nil
+	}
+	return qs.Progress
 }
 
 // ObserveBall records one evaluated ball. A nil receiver is a no-op, so the
