@@ -30,7 +30,11 @@ type ActiveQueryJSON struct {
 	Kind string `json:"kind"`
 	// Digest fingerprints the query shape (pattern + mode), so an operator
 	// can group entries without reading whole patterns.
-	Digest    string    `json:"digest"`
+	Digest string `json:"digest"`
+	// TraceID names the request's trace — the pivot into
+	// /v1/debug/traces/{trace_id} once it completes and is kept. Empty when
+	// tracing is off.
+	TraceID   string    `json:"trace_id,omitempty"`
 	Stage     string    `json:"stage"`
 	StartedAt time.Time `json:"started_at"`
 	ElapsedMS float64   `json:"elapsed_ms"`
@@ -44,6 +48,9 @@ type QueryRecordJSON struct {
 	RequestID string `json:"request_id"`
 	Kind      string `json:"kind"`
 	Digest    string `json:"digest"`
+	// TraceID links the record to GET /v1/debug/traces/{trace_id} when the
+	// trace survived tail sampling. Empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
 	// Outcome is "ok", "cancelled", "deadline" or "error".
 	Outcome   string          `json:"outcome"`
 	Error     string          `json:"error,omitempty"`
@@ -61,6 +68,7 @@ func (s *server) handleDebugActive(w http.ResponseWriter, r *http.Request) {
 			RequestID:      a.RequestID,
 			Kind:           a.Kind,
 			Digest:         a.Digest,
+			TraceID:        a.TraceID,
 			Stage:          a.Stage.String(),
 			StartedAt:      a.Start,
 			ElapsedMS:      msOf(a.Elapsed),
@@ -98,6 +106,7 @@ func recordsJSON(recs []obs.QueryRecord) []QueryRecordJSON {
 			RequestID: rec.RequestID,
 			Kind:      rec.Kind,
 			Digest:    rec.Digest,
+			TraceID:   rec.TraceID,
 			Outcome:   rec.Outcome,
 			Error:     rec.Error,
 			StartedAt: rec.Start,
@@ -112,29 +121,40 @@ func recordsJSON(recs []obs.QueryRecord) []QueryRecordJSON {
 func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 // trace returns the stage trace to install into opts: one is allocated when
-// the caller asked for stats or the flight recorder is on, nil otherwise —
-// the allocation-free path the AllocsPerRun guards pin.
-func (s *server) trace(opts *engine.QueryOptions, statsRequested bool) *obs.QueryStats {
-	if !statsRequested && s.flight == nil {
+// the caller asked for stats, the flight recorder is on, or the request
+// carries a trace (whose span tree the engine stages then parent under the
+// request's root span); nil otherwise — the allocation-free path the
+// AllocsPerRun guards pin.
+func (s *server) trace(r *http.Request, opts *engine.QueryOptions, statsRequested bool) *obs.QueryStats {
+	ri := reqInfo(r.Context())
+	traced := ri != nil && ri.trace != nil
+	if !statsRequested && s.flight == nil && !traced {
 		return nil
 	}
 	tr := new(obs.QueryStats)
+	if traced {
+		tr.Spans = ri.trace
+		tr.Parent = ri.root.ID()
+	}
 	opts.Trace = tr
 	return tr
 }
 
 // flightStart registers one query with the flight recorder under the
-// request's id. Nil-safe end to end: with the recorder off it returns a nil
-// Flight whose Finish is a no-op.
+// request's id and trace id. Nil-safe end to end: with the recorder off it
+// returns a nil Flight whose Finish is a no-op.
 func (s *server) flightStart(r *http.Request, kind, digest string, cancel context.CancelFunc, trace *obs.QueryStats) *obs.Flight {
 	if s.flight == nil {
 		return nil
 	}
-	var id string
+	var id, traceID string
 	if ri := reqInfo(r.Context()); ri != nil {
 		id = ri.id
+		if ri.trace != nil {
+			traceID = ri.trace.ID().String()
+		}
 	}
-	return s.flight.Start(id, kind, digest, cancel, trace)
+	return s.flight.Start(id, kind, digest, traceID, cancel, trace)
 }
 
 // failFlight finishes a flight with the outcome matching a wire error and

@@ -58,6 +58,12 @@ type Error struct {
 	// log and flight recorder (/v1/debug/queries/recent). Transport
 	// metadata, never part of the JSON body.
 	RequestID string `json:"-"`
+	// TraceID is the trace id from the traceparent the failing response
+	// carried, filled by the client SDK — the handle into
+	// GET /v1/debug/traces/{trace_id}, where errored requests are always
+	// kept by tail sampling. Empty when the server does not trace.
+	// Transport metadata, never part of the JSON body.
+	TraceID string `json:"-"`
 }
 
 // Error renders the code, message and HTTP status.

@@ -58,7 +58,14 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		muts = append(muts, m)
 	}
 	start := time.Now()
-	res, err := s.store.Apply(muts)
+	// Under the request's root span, the store records one live.apply child
+	// plus a live.maintain child per standing query brought current; the
+	// untraced path hands in a zero Span and records nothing.
+	var root obs.Span
+	if ri := reqInfo(r.Context()); ri != nil {
+		root = ri.root
+	}
+	res, err := s.store.ApplyTraced(muts, root)
 	if err != nil {
 		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidMutation, "%v", err))
 		return
@@ -112,9 +119,16 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// mid-way would leave a standing query's per-center cache half-updated.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+	ri := reqInfo(r.Context())
 	var trace *obs.QueryStats
-	if s.flight != nil {
+	if s.flight != nil || (ri != nil && ri.trace != nil) {
 		trace = new(obs.QueryStats)
+		if ri != nil && ri.trace != nil {
+			// The initial evaluation's stage spans land under the request's
+			// root span, like any match.
+			trace.Spans = ri.trace
+			trace.Parent = ri.root.ID()
+		}
 	}
 	fl := s.flightStart(r, "standing", textDigest(text), cancel, trace)
 	sq, err := s.store.RegisterCtx(ctx, text, trace)

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	rtdebug "runtime/debug"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -19,6 +20,15 @@ import (
 // missing one is generated. Every access-log line carries the id, so one
 // request can be followed across client retries and server logs.
 const RequestIDHeader = "X-Request-Id"
+
+// TraceparentHeader is the W3C trace-context header request traces travel
+// in, both directions: a valid incoming traceparent is adopted (same trace
+// id, the remote span as the root's parent, the sampled flag honored as a
+// keep), anything else mints a fresh trace, and the response always carries
+// the effective context — trace id, root span id, head-sampling decision —
+// when the server traces. Exported for SDK use; the server side lives in
+// internal/obs.
+const TraceparentHeader = obs.TraceparentHeader
 
 // panicsTotal counts handler panics recovered by the middleware; each one
 // also answers a structured 500 (when the response was not yet committed)
@@ -58,13 +68,16 @@ func (m *routeMetrics) observe(status int, d time.Duration) {
 
 // requestInfo is the per-request observability state the middleware threads
 // through the context: the request id plus annotations handlers attach for
-// the access log (match counts, stream outcomes). It is written by the
-// handler goroutine only.
+// the access log (match counts, stream outcomes), and — when the tracer is
+// on — the request's trace and root span, which the serving path parents
+// engine stage spans under. It is written by the handler goroutine only.
 type requestInfo struct {
 	id         string
 	matches    int
 	hasMatches bool
 	outcome    string
+	trace      *obs.Trace
+	root       obs.Span
 }
 
 type requestInfoKey struct{}
@@ -152,10 +165,24 @@ func (w *obsResponseWriter) Flush() {
 // concrete path, so metric cardinality stays bounded.
 func (s *server) instrument(method, endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	m := newRouteMetrics(method, endpoint)
+	// The observability surface itself is not traced: /v1/metrics polls and
+	// the /v1/debug group would otherwise fill the kept-trace ring with the
+	// requests inspecting it.
+	spanName := method + " " + endpoint
+	traceRoute := endpoint != Prefix+"/metrics" && !strings.HasPrefix(endpoint, Prefix+"/debug/")
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		info := &requestInfo{id: requestID(r)}
 		w.Header().Set(RequestIDHeader, info.id)
+		if s.tracer != nil && traceRoute {
+			// A malformed traceparent mints a fresh trace — propagation is
+			// best-effort, never a request error. The response echoes the
+			// effective context so callers learn the trace id (and the root
+			// span id) their request ran under.
+			parent, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+			info.trace, info.root = s.tracer.Start(spanName, info.id, parent)
+			w.Header().Set(obs.TraceparentHeader, info.root.Context().String())
+		}
 		ww := &obsResponseWriter{ResponseWriter: w}
 		r = r.WithContext(context.WithValue(r.Context(), requestInfoKey{}, info))
 		defer func() {
@@ -182,6 +209,19 @@ func (s *server) instrument(method, endpoint string, h http.HandlerFunc) http.Ha
 			dur := time.Since(start)
 			m.observe(ww.status, dur)
 			s.accessLog(r, info, ww, dur)
+			if info.root.Recording() {
+				// Ending the root span finishes the trace and runs the
+				// tail-sampling keep/drop decision.
+				status := ""
+				switch {
+				case info.outcome != "" && info.outcome != "ok":
+					status = info.outcome
+				case ww.status >= 400:
+					status = "error"
+				}
+				info.root.EndStatus(status,
+					obs.Attr{Key: "http_status", Value: int64(ww.status)})
+			}
 		}()
 		h(ww, r)
 	}

@@ -49,8 +49,16 @@ type Config struct {
 	// latency as slow: counted in slow_queries_total, kept in the
 	// /v1/debug/queries/slow ring, and logged through AccessLog with the
 	// full stage breakdown. Zero means 1s; negative disables slow
-	// classification. Only meaningful with EnableDebug.
+	// classification. Only meaningful with EnableDebug; the tracer reuses
+	// it as the tail-sampling "slow" keep threshold.
 	SlowQueryThreshold time.Duration
+	// TraceSampleRate is the head-sampling probability in [0, 1] for the
+	// request tracer: the fraction of requests whose trace is kept even
+	// when fast and successful. Slow, errored and cancelled requests are
+	// kept regardless (tail-based sampling), as are requests arriving with
+	// a sampled traceparent. Zero keeps only those; only meaningful with
+	// EnableDebug.
+	TraceSampleRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +110,10 @@ type server struct {
 	// Config.EnableDebug is set; nil otherwise, and every recorder call on
 	// the serving path is a nil-safe no-op.
 	flight *obs.FlightRecorder
+	// tracer mints one span tree per request when Config.EnableDebug is
+	// set, keeping slow/errored/head-sampled traces for /v1/debug/traces;
+	// nil otherwise, and the serving path records nothing.
+	tracer *obs.Tracer
 }
 
 // routes builds the unified route tree: the /v1 endpoints plus the
@@ -111,6 +123,11 @@ func (s *server) routes() http.Handler {
 	registerProcessMetrics()
 	if s.cfg.EnableDebug {
 		s.flight = obs.NewFlightRecorder(obs.FlightConfig{
+			SlowThreshold: s.cfg.SlowQueryThreshold,
+			Log:           s.cfg.AccessLog,
+		})
+		s.tracer = obs.NewTracer(obs.TraceConfig{
+			SampleRate:    s.cfg.TraceSampleRate,
 			SlowThreshold: s.cfg.SlowQueryThreshold,
 			Log:           s.cfg.AccessLog,
 		})
@@ -139,6 +156,10 @@ func (s *server) routes() http.Handler {
 		s.route(rt, "GET", Prefix+"/debug/queries/recent", s.handleDebugRecent)
 		s.route(rt, "GET", Prefix+"/debug/queries/slow", s.handleDebugSlow)
 		s.route(rt, "DELETE", Prefix+"/debug/queries/{request_id}", s.handleDebugCancel)
+		// The traces pair is GET-only on both the literal and the wildcard,
+		// so the generated fallbacks stay unambiguous.
+		s.route(rt, "GET", Prefix+"/debug/traces", s.handleDebugTraces)
+		s.route(rt, "GET", Prefix+"/debug/traces/{trace_id}", s.handleDebugTrace)
 		rt.noFallback[Prefix+"/debug/queries/recent"] = true
 		rt.noFallback[Prefix+"/debug/queries/slow"] = true
 		rt.custom[Prefix+"/debug/queries/{request_id}"] = func(w http.ResponseWriter, r *http.Request) {
@@ -394,7 +415,7 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
-	trace := s.trace(&opts, req.Query.Stats)
+	trace := s.trace(r, &opts, req.Query.Stats)
 	fl := s.flightStart(r, "match", matchDigest(req), cancel, trace)
 
 	start := time.Now()
@@ -465,7 +486,7 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
-	trace := s.trace(&opts, req.Query.Stats)
+	trace := s.trace(r, &opts, req.Query.Stats)
 	fl := s.flightStart(r, "stream", matchDigest(&req), cancel, trace)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")

@@ -65,6 +65,7 @@ const errorBodyLimit = 1 << 20
 type (
 	requestIDKey        struct{}
 	requestIDCaptureKey struct{}
+	traceParentKey      struct{}
 )
 
 // WithRequestID returns a context that stamps id into the X-Request-Id
@@ -86,11 +87,23 @@ func WithEchoedRequestID(ctx context.Context, dst *string) context.Context {
 	return context.WithValue(ctx, requestIDCaptureKey{}, dst)
 }
 
+// WithTraceContext returns a context that stamps traceparent (a W3C
+// trace-context value, "00-<trace id>-<span id>-<flags>") into the
+// traceparent header of every call made with it, so the server-side trace
+// joins the caller's distributed trace instead of minting its own. Setting
+// the sampled flag (…-01) forces the server to keep the trace regardless of
+// its own sampling. The server echoes the effective traceparent on every
+// traced response; failures carry its trace id on *api.Error.TraceID.
+func WithTraceContext(ctx context.Context, traceparent string) context.Context {
+	return context.WithValue(ctx, traceParentKey{}, traceparent)
+}
+
 // decodeError turns a non-2xx response into an *api.Error, falling back to
 // the raw body when the server (or a proxy in front of it) answered
 // something unstructured.
 func decodeError(resp *http.Response) error {
 	reqID := resp.Header.Get(api.RequestIDHeader)
+	traceID := echoedTraceID(resp)
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodyLimit))
 	var e api.Error
 	if json.Unmarshal(raw, &e) == nil && e.Message != "" {
@@ -99,13 +112,26 @@ func decodeError(resp *http.Response) error {
 		}
 		e.Status = resp.StatusCode
 		e.RequestID = reqID
+		e.TraceID = traceID
 		return &e
 	}
 	msg := strings.TrimSpace(string(raw))
 	if msg == "" {
 		msg = resp.Status
 	}
-	return &api.Error{Code: api.CodeUnavailable, Message: msg, Status: resp.StatusCode, RequestID: reqID}
+	return &api.Error{Code: api.CodeUnavailable, Message: msg, Status: resp.StatusCode,
+		RequestID: reqID, TraceID: traceID}
+}
+
+// echoedTraceID extracts the trace id from the traceparent a response
+// carried: the 32 hex digits that name the request's trace in
+// GET /v1/debug/traces/{trace_id}. Empty when the server does not trace.
+func echoedTraceID(resp *http.Response) string {
+	tp := resp.Header.Get(api.TraceparentHeader) // "vv-<32 hex digits>-…"
+	if len(tp) >= 35 && tp[2] == '-' && !strings.Contains(tp[3:35], "-") {
+		return tp[3:35]
+	}
+	return ""
 }
 
 // roundTrip posts (or gets) one JSON request and decodes the response.
@@ -146,6 +172,9 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	}
 	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
 		req.Header.Set(api.RequestIDHeader, id)
+	}
+	if tp, ok := ctx.Value(traceParentKey{}).(string); ok && tp != "" {
+		req.Header.Set(api.TraceparentHeader, tp)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -388,4 +417,28 @@ func (c *Client) SlowQueries(ctx context.Context) ([]api.QueryRecordJSON, error)
 func (c *Client) CancelQuery(ctx context.Context, requestID string) error {
 	return c.roundTrip(ctx, http.MethodDelete,
 		api.Prefix+"/debug/queries/"+url.PathEscape(requestID), nil, nil)
+}
+
+// Traces lists the server's kept request traces, newest first: the slow,
+// errored and head-sampled requests tail sampling retained, each naming its
+// root span and keep reason.
+func (c *Client) Traces(ctx context.Context) ([]api.TraceSummaryJSON, error) {
+	var out []api.TraceSummaryJSON
+	if err := c.roundTrip(ctx, http.MethodGet, api.Prefix+"/debug/traces", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Trace fetches one kept trace by its 32-hex-digit id — echoed on every
+// traced response's traceparent, carried by *api.Error.TraceID on failures,
+// and listed by Traces — as its full span tree. Traces the server dropped
+// (fast, successful, unsampled) fail with api.CodeNotFound.
+func (c *Client) Trace(ctx context.Context, traceID string) (*api.TraceJSON, error) {
+	var tj api.TraceJSON
+	if err := c.roundTrip(ctx, http.MethodGet,
+		api.Prefix+"/debug/traces/"+url.PathEscape(traceID), nil, &tj); err != nil {
+		return nil, err
+	}
+	return &tj, nil
 }

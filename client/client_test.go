@@ -396,3 +396,59 @@ func TestClientStandingQueries(t *testing.T) {
 		t.Fatalf("bad mutation: %v", err)
 	}
 }
+
+// TestClientTracePropagation: WithTraceContext injects the traceparent onto
+// the wire, the propagated trace lands in the kept ring (sampled flag forces
+// the keep) under the client's trace id, and the SDK trace endpoints read it
+// back as a span tree rooted at the route with the client span as remote
+// parent. Failures carry the trace id on the structured error.
+func TestClientTracePropagation(t *testing.T) {
+	g := generator.Synthetic(200, 1.2, 8, 75)
+	q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 3, Alpha: 1.2, Seed: 76})
+	cl := newEngineServer(t, g, api.Config{EnableDebug: true})
+	ctx := context.Background()
+
+	const (
+		traceID = "0af7651916cd43dd8448eb211c80319c"
+		spanID  = "b7ad6b7169203331"
+	)
+	tp := "00-" + traceID + "-" + spanID + "-01"
+	if _, err := cl.MatchText(WithTraceContext(ctx, tp), graph.FormatString(q), api.QuerySpec{}); err != nil {
+		t.Fatal(err)
+	}
+
+	kept, err := cl.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || kept[0].TraceID != traceID {
+		t.Fatalf("kept traces %+v, want the propagated %s", kept, traceID)
+	}
+	tj, err := cl.Trace(ctx, traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tj.ParentSpanID != spanID || tj.Root == nil || tj.Root.Name != "POST "+api.Prefix+"/match" {
+		t.Fatalf("trace %+v, want root POST %s/match parented under %s", tj, api.Prefix, spanID)
+	}
+
+	// A failing call under the same propagation keeps its trace too, and the
+	// structured error carries the trace id for the pivot.
+	const errTrace = "1bf7651916cd43dd8448eb211c80319c"
+	errCtx := WithTraceContext(ctx, "00-"+errTrace+"-"+spanID+"-00")
+	var aerr *api.Error
+	if _, err := cl.MatchText(errCtx, "", api.QuerySpec{}); !errors.As(err, &aerr) {
+		t.Fatalf("expected *api.Error, got %v", err)
+	}
+	if aerr.TraceID != errTrace {
+		t.Fatalf("error TraceID %q, want %s", aerr.TraceID, errTrace)
+	}
+	if _, err := cl.Trace(ctx, errTrace); err != nil {
+		t.Fatalf("errored request's trace not kept: %v", err)
+	}
+
+	// Unknown trace ids answer the structured not_found.
+	if _, err := cl.Trace(ctx, "ffffffffffffffffffffffffffffffff"); !errors.As(err, &aerr) || aerr.Code != api.CodeNotFound {
+		t.Fatalf("unknown trace lookup: %v", err)
+	}
+}

@@ -7,7 +7,7 @@
 // over a synthetic graph (-synthetic N) or a data file (-data), which makes
 // one invocation a complete smoke test:
 //
-//	loadgen -synthetic 400 -duration 5s -concurrency 8 -out BENCH_PR6.json
+//	loadgen -synthetic 400 -duration 5s -concurrency 8 -out BENCH_PR8.json
 //	loadgen -addr http://localhost:8372 -mix 80:10:10 -duration 30s
 //
 // The mix is match:update:standing weights. Update batches insert and then
@@ -24,6 +24,14 @@
 // loadgen audits the server's query flight recorder: the recent-queries
 // ring must be non-empty with no query recording outcome "error", and the
 // slow-query count is folded into the report (slow_queries).
+//
+// Every request travels with a freshly minted W3C traceparent (flags 00, so
+// the server's own sampling governs keeps); -trace-sample sets the
+// self-hosted server's head-sampling rate. With -debug, loadgen also audits
+// /v1/debug/traces after the run — every kept trace must record the remote
+// parent the client sent, and every successful kept match trace must carry
+// all four engine-stage spans — and folds the kept-trace count plus
+// per-stage p50/p95 span durations into the report.
 package main
 
 import (
@@ -65,8 +73,9 @@ func main() {
 		mixSpec     = flag.String("mix", "90:5:5", "match:update:standing traffic weights")
 		patterns    = flag.Int("patterns", 8, "distinct patterns sampled from the graph")
 		mode        = flag.String("mode", api.ModePlus, "query mode (plain or plus)")
-		out         = flag.String("out", "BENCH_PR6.json", "report file ('-' for stdout)")
-		debugOn     = flag.Bool("debug", false, "enable /v1/debug on the self-hosted server and audit its flight recorder after the run")
+		out         = flag.String("out", "BENCH_PR8.json", "report file ('-' for stdout)")
+		debugOn     = flag.Bool("debug", false, "enable /v1/debug on the self-hosted server and audit its flight recorder and kept traces after the run")
+		traceRate   = flag.Float64("trace-sample", 0, "head-sampling rate [0,1] for the self-hosted server's request tracer (with -debug)")
 	)
 	flag.Parse()
 
@@ -75,7 +84,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	g, base, shutdown, err := target(*addr, *dataPath, *synthetic, *labels, *seed, *debugOn)
+	g, base, shutdown, err := target(*addr, *dataPath, *synthetic, *labels, *seed, *debugOn, *traceRate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -134,6 +143,7 @@ func main() {
 	rep.Config.Mode = *mode
 	rep.Config.Patterns = *patterns
 	auditFlightRecorder(ctx, cl, rep, *debugOn)
+	auditTraces(ctx, cl, rep, *debugOn, *traceRate)
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -163,7 +173,7 @@ func main() {
 // live server over a loaded or synthesized graph. The returned graph is nil
 // for external targets with no -data (patterns are then sampled from
 // /v1/graph metadata — not supported; -data or -synthetic is required).
-func target(addr, dataPath string, synthetic, labels int, seed int64, debug bool) (*graph.Graph, string, func(), error) {
+func target(addr, dataPath string, synthetic, labels int, seed int64, debug bool, traceRate float64) (*graph.Graph, string, func(), error) {
 	var g *graph.Graph
 	switch {
 	case dataPath != "":
@@ -185,7 +195,10 @@ func target(addr, dataPath string, synthetic, labels int, seed int64, debug bool
 		return g, strings.TrimRight(addr, "/"), func() {}, nil
 	}
 	store := live.NewStore(g, live.Config{})
-	ts := httptest.NewServer(api.NewLiveServer(store, api.Config{EnableDebug: debug}))
+	ts := httptest.NewServer(api.NewLiveServer(store, api.Config{
+		EnableDebug:     debug,
+		TraceSampleRate: traceRate,
+	}))
 	return g, ts.URL, ts.Close, nil
 }
 
@@ -224,6 +237,86 @@ func auditFlightRecorder(ctx context.Context, cl *client.Client, rep *Report, de
 	}
 	rep.SlowQueries = len(slow)
 	log.Printf("flight recorder: %d recent queries audited, %d slow", len(recent), len(slow))
+}
+
+// engineStages are the span names every successful traced match must record
+// under its root — the engine's cost-model phases.
+var engineStages = []string{"prepare", "filter", "eval", "merge"}
+
+// auditTraces cross-checks the tracer's kept ring: every kept trace must
+// name the remote parent span loadgen sent (traceparent propagation worked
+// end to end), every successful kept match trace must carry all four
+// engine-stage spans, and the per-stage span durations across all kept
+// traces land in the report as p50/p95. traceRate > 0 with zero keeps over
+// a run that issued requests is a sampling bug and fails the run.
+func auditTraces(ctx context.Context, cl *client.Client, rep *Report, debug bool, traceRate float64) {
+	if !debug {
+		return
+	}
+	kept, err := cl.Traces(ctx)
+	if err != nil {
+		var aerr *api.Error
+		if errors.As(err, &aerr) && aerr.Code == api.CodeNotFound {
+			log.Printf("warning: target has no /v1/debug/traces route; skipping trace audit")
+			return
+		}
+		log.Fatalf("traces: scraping kept traces: %v", err)
+	}
+	rep.TracesKept = len(kept)
+	if len(kept) == 0 {
+		if traceRate > 0 && rep.TotalRequests > 0 {
+			log.Fatalf("traces: zero traces kept at -trace-sample %v over %d requests",
+				traceRate, rep.TotalRequests)
+		}
+		log.Printf("traces: nothing kept (no slow, errored or sampled requests)")
+		return
+	}
+	stages := make(map[string][]float64)
+	for _, sum := range kept {
+		tj, err := cl.Trace(ctx, sum.TraceID)
+		if err != nil {
+			log.Fatalf("traces: fetching trace %s: %v", sum.TraceID, err)
+		}
+		if tj.ParentSpanID == "" {
+			log.Fatalf("traces: trace %s (%s) lost its client-minted parent span:"+
+				" traceparent did not propagate", sum.TraceID, sum.Root)
+		}
+		collectStages(tj.Root, stages)
+		if tj.Root.Name == "POST "+api.Prefix+"/match" && tj.Root.Status == "" {
+			have := make(map[string]bool, len(tj.Root.Children))
+			for _, c := range tj.Root.Children {
+				have[c.Name] = true
+			}
+			for _, want := range engineStages {
+				if !have[want] {
+					log.Fatalf("traces: match trace %s is missing the %q stage span",
+						sum.TraceID, want)
+				}
+			}
+		}
+	}
+	rep.TraceStages = make(map[string]StageQuantiles, len(stages))
+	for name, durs := range stages {
+		sort.Float64s(durs)
+		rep.TraceStages[name] = StageQuantiles{
+			Spans: len(durs),
+			P50MS: quantile(durs, 0.50),
+			P95MS: quantile(durs, 0.95),
+		}
+	}
+	log.Printf("traces: %d kept traces audited, %d distinct stage names",
+		len(kept), len(stages))
+}
+
+// collectStages walks a span subtree accumulating the duration of every
+// span below the root, keyed by span name. Root spans are skipped — their
+// latency is already the endpoint quantiles.
+func collectStages(sj *api.SpanJSON, into map[string][]float64) {
+	for i := range sj.Children {
+		c := &sj.Children[i]
+		into[c.Name] = append(into[c.Name], c.DurationMS)
+		collectStages(c, into)
+	}
 }
 
 func samplePatterns(g *graph.Graph, n int, seed int64) []string {
@@ -302,7 +395,19 @@ func (r *runner) setupMutable(ctx context.Context, nodes int) error {
 	return nil
 }
 
+// traceparent mints a fresh W3C trace context for one request. Flags 00:
+// loadgen never forces a keep, so the server's own head-sampling rate
+// governs what lands in /v1/debug/traces. The or-1s keep both ids nonzero
+// (zero ids are invalid and would make the server discard the header).
+func traceparent(rng *rand.Rand) string {
+	return fmt.Sprintf("00-%016x%016x-%016x-00",
+		rng.Uint64()|1, rng.Uint64(), rng.Uint64()|1)
+}
+
 func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
+	// Every request joins a client-minted trace, exercising propagation
+	// end to end; the server echoes the context on the response.
+	ctx = client.WithTraceContext(ctx, traceparent(rng))
 	pick := rng.Intn(m.match + m.update + m.standing)
 	switch {
 	case pick < m.match:
@@ -328,9 +433,10 @@ func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
 	}
 }
 
-// Report is the BENCH_PR6.json shape: per-endpoint client-observed
-// throughput and latency quantiles, plus the server's own counter movement
-// over the run.
+// Report is the BENCH_PR8.json shape: per-endpoint client-observed
+// throughput and latency quantiles, server-side span-duration quantiles per
+// stage from the kept traces, plus the server's own counter movement over
+// the run.
 type Report struct {
 	Config struct {
 		Concurrency int    `json:"concurrency"`
@@ -338,13 +444,24 @@ type Report struct {
 		Mode        string `json:"mode"`
 		Patterns    int    `json:"patterns"`
 	} `json:"config"`
-	DurationSeconds    float64                  `json:"duration_seconds"`
-	TotalRequests      int64                    `json:"total_requests"`
-	TotalErrors        int64                    `json:"total_errors"`
-	TotalMatches       int64                    `json:"total_matches"`
-	SlowQueries        int                      `json:"slow_queries"`
-	Endpoints          map[string]EndpointStats `json:"endpoints"`
-	ServerMetricsDelta map[string]float64       `json:"server_metrics_delta"`
+	DurationSeconds    float64                   `json:"duration_seconds"`
+	TotalRequests      int64                     `json:"total_requests"`
+	TotalErrors        int64                     `json:"total_errors"`
+	TotalMatches       int64                     `json:"total_matches"`
+	SlowQueries        int                       `json:"slow_queries"`
+	TracesKept         int                       `json:"traces_kept"`
+	TraceStages        map[string]StageQuantiles `json:"trace_stage_quantiles,omitempty"`
+	Endpoints          map[string]EndpointStats  `json:"endpoints"`
+	ServerMetricsDelta map[string]float64        `json:"server_metrics_delta"`
+}
+
+// StageQuantiles summarizes one span name's durations across every kept
+// trace: engine stages (prepare, filter, eval, merge), per-worker eval
+// stints, and live-store apply/maintain spans.
+type StageQuantiles struct {
+	Spans int     `json:"spans"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
 }
 
 // EndpointStats summarizes one endpoint's run from the client's side.
@@ -417,7 +534,7 @@ func diffMetrics(before, after map[string]float64) map[string]float64 {
 	keep := func(name string) bool {
 		for _, p := range []string{
 			"http_requests_total", "http_request_seconds_count", "http_request_seconds_sum",
-			"exec_", "scratch_", "live_", "http_panics_total", "slow_",
+			"exec_", "scratch_", "live_", "http_panics_total", "slow_", "trace",
 		} {
 			if strings.HasPrefix(name, p) {
 				return true

@@ -24,9 +24,12 @@
 // text exposition), POST /v1/match, POST /v1/match/stream, POST /v1/update,
 // POST/GET /v1/queries, GET/DELETE /v1/queries/{id},
 // GET /v1/queries/{id}/delta, /v1/debug/queries (in-flight introspection,
-// recent/slow rings, admin cancellation) behind -debug, and /debug/pprof
-// behind -pprof. See API.md for every schema and error code, and package
-// client for the Go SDK.
+// recent/slow rings, admin cancellation) and /v1/debug/traces (kept request
+// traces as span trees; tail sampling keeps slow and errored requests, plus
+// a -trace-sample fraction of the rest) behind -debug, and /debug/pprof
+// behind -pprof. Requests propagate W3C traceparent both directions. See
+// API.md for every schema and error code, and package client for the Go
+// SDK.
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 		pprofOn    = flag.Bool("pprof", false, "mount /debug/pprof (operator listeners only)")
 		debugOn    = flag.Bool("debug", false, "mount /v1/debug query introspection and cancellation (operator listeners only)")
 		slowQuery  = flag.Duration("slow-query", time.Second, "latency at or above which completed queries are recorded as slow (with -debug)")
+		traceRate  = flag.Float64("trace-sample", 0, "head-sampling probability [0,1] for keeping fast successful request traces; slow and errored traces are kept regardless (with -debug)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -113,6 +117,7 @@ func main() {
 			EnablePprof:        *pprofOn,
 			EnableDebug:        *debugOn,
 			SlowQueryThreshold: *slowQuery,
+			TraceSampleRate:    *traceRate,
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}

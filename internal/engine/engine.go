@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -130,12 +131,15 @@ type preparedQuery struct {
 func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions) (*preparedQuery, error) {
 	tr := opts.Trace
 	tr.EnterStage(obs.StagePrepare) // nil-safe
+	sp := tr.StartSpan("prepare")   // zero Span when the query is untraced
 	start := time.Now()
 	if q == nil || q.NumNodes() == 0 {
+		sp.EndStatus("error")
 		return nil, fmt.Errorf("engine: empty pattern graph")
 	}
 	dq, connected := graph.Diameter(q)
 	if !connected {
+		sp.EndStatus("error")
 		return nil, fmt.Errorf("engine: pattern graph must be connected (Section 2.1)")
 	}
 	p := &preparedQuery{qEff: q, radius: opts.Radius}
@@ -147,12 +151,15 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 		p.qEff, p.classOf = core.MinimizeQuery(q)
 	}
 	if err := ctx.Err(); err != nil {
+		sp.EndStatus("cancelled")
 		return nil, err
 	}
 	if tr != nil {
 		tr.Prepare = time.Since(start)
 		start = time.Now()
 	}
+	sp.End()
+	sp = tr.StartSpan("filter")
 	tr.EnterStage(obs.StageFilter)
 
 	g := e.snap.g
@@ -166,6 +173,7 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 			if tr != nil {
 				tr.Filter = time.Since(start)
 			}
+			sp.End()
 			return p, nil
 		}
 		p.global = rel
@@ -174,6 +182,7 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 		centerSet = e.snap.CandidateCenters(p.qEff)
 	}
 	if err := ctx.Err(); err != nil {
+		sp.EndStatus("cancelled")
 		return nil, err
 	}
 	p.centers = centerSet.Slice()
@@ -181,6 +190,9 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 	if tr != nil {
 		tr.Filter = time.Since(start)
 		tr.CandidateCenters = len(p.centers)
+	}
+	if sp.Recording() {
+		sp.End(obs.Attr{Key: "candidate_centers", Value: int64(len(p.centers))})
 	}
 	return p, nil
 }
@@ -208,8 +220,10 @@ type ballOutcome struct {
 // callers must still see the context error) — and nil for a sink stop with a
 // live context, the Limit early exit. Cancellation is observed between
 // balls; a ball evaluation already underway runs to completion.
-func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, progress *obs.Progress, sink func(ballOutcome) bool) error {
-	return exec.Run(ctx, exec.Options{Workers: e.workers, Progress: progress}, len(p.centers),
+// span, when recording, becomes the parent of the pool's per-worker
+// "eval.worker" spans; a zero span adds nothing.
+func (e *Engine) evalCenters(ctx context.Context, p *preparedQuery, coreOpts core.Options, progress *obs.Progress, span obs.Span, sink func(ballOutcome) bool) error {
+	return exec.Run(ctx, exec.Options{Workers: e.workers, Progress: progress, Span: span}, len(p.centers),
 		func(s *exec.Scratch, pos int) ballOutcome {
 			center := p.centers[pos]
 			ball := e.snap.BallIn(&s.Balls, center, p.radius)
@@ -249,12 +263,13 @@ func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, ce
 	}
 	p := &preparedQuery{qEff: q, radius: radius, centers: centers}
 	trace.EnterStage(obs.StageEval) // nil-safe
+	sp := trace.StartSpan("eval")
 	var evalStart time.Time
 	if trace != nil {
 		trace.CandidateCenters = len(centers)
 		evalStart = time.Now()
 	}
-	err := e.evalCenters(ctx, p, core.Options{}, trace.Live(), func(o ballOutcome) bool {
+	err := e.evalCenters(ctx, p, core.Options{}, trace.Live(), sp, func(o ballOutcome) bool {
 		trace.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		report(o.pos, o.ps)
 		return true
@@ -262,7 +277,27 @@ func (e *Engine) EvalCenters(ctx context.Context, q *graph.Graph, radius int, ce
 	if trace != nil {
 		trace.Eval += time.Since(evalStart)
 	}
+	endEvalSpan(sp, trace, err)
 	return err
+}
+
+// endEvalSpan completes one eval-stage span with the balls-evaluated count
+// and the run's outcome. The guard keeps the untraced path attr-free.
+func endEvalSpan(sp obs.Span, tr *obs.QueryStats, err error) {
+	if !sp.Recording() {
+		return
+	}
+	status := ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		status = "deadline"
+	case errors.Is(err, context.Canceled):
+		status = "cancelled"
+	default:
+		status = "error"
+	}
+	sp.EndStatus(status, obs.Attr{Key: "balls", Value: int64(tr.BallsBuilt)})
 }
 
 func foldStats(dst *core.Stats, src core.Stats) {
@@ -297,13 +332,15 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	out := make([]*core.PerfectSubgraph, len(p.centers))
 	tr := opts.Trace
 	tr.EnterStage(obs.StageEval)
+	evalSp := tr.StartSpan("eval")
 	evalStart := time.Now()
-	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), func(o ballOutcome) bool {
+	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), evalSp, func(o ballOutcome) bool {
 		foldStats(&res.Stats, o.stats)
 		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		out[o.pos] = o.ps
 		return true
 	})
+	endEvalSpan(evalSp, tr, err)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +349,7 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 		tr.Eval = mergeStart.Sub(evalStart)
 	}
 	tr.EnterStage(obs.StageMerge)
+	mergeSp := tr.StartSpan("merge")
 
 	res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
 	core.SortSubgraphs(res.Subgraphs)
@@ -322,6 +360,9 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	}
 	if tr != nil {
 		tr.Merge = time.Since(mergeStart)
+	}
+	if mergeSp.Recording() {
+		mergeSp.End(obs.Attr{Key: "matches", Value: int64(len(res.Subgraphs))})
 	}
 	return res, nil
 }
@@ -339,11 +380,13 @@ func (e *Engine) matchLimited(ctx context.Context, q *graph.Graph, opts QueryOpt
 	}
 	res.Stats = stats
 	opts.Trace.EnterStage(obs.StageMerge)
+	mergeSp := opts.Trace.StartSpan("merge")
 	mergeStart := time.Now()
 	core.SortSubgraphs(res.Subgraphs)
 	if tr := opts.Trace; tr != nil {
 		tr.Merge = time.Since(mergeStart)
 	}
+	mergeSp.End()
 	return res, nil
 }
 
@@ -362,10 +405,11 @@ func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emi
 
 	tr := opts.Trace
 	tr.EnterStage(obs.StageEval)
+	evalSp := tr.StartSpan("eval")
 	evalStart := time.Now()
 	dedup := core.NewDeduper()
 	emitted := 0
-	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), func(o ballOutcome) bool {
+	err = e.evalCenters(ctx, p, opts.coreOptions(), tr.Live(), evalSp, func(o ballOutcome) bool {
 		foldStats(&stats, o.stats)
 		tr.ObserveBall(o.ballNodes, o.ballEdges) // nil-safe
 		if !dedup.Admit(o.ps, &stats) {
@@ -385,6 +429,7 @@ func (e *Engine) run(ctx context.Context, q *graph.Graph, opts QueryOptions, emi
 		// executions the whole post-prepare phase is the eval stage.
 		tr.Eval = time.Since(evalStart)
 	}
+	endEvalSpan(evalSp, tr, err)
 	return stats, err
 }
 
@@ -447,10 +492,12 @@ func (e *Engine) MatchTopK(ctx context.Context, q *graph.Graph, k int, metric co
 		return nil, stats, err
 	}
 	opts.Trace.EnterStage(obs.StageMerge)
+	mergeSp := opts.Trace.StartSpan("merge")
 	mergeStart := time.Now()
 	ranked := top.ranked()
 	if tr := opts.Trace; tr != nil {
 		tr.Merge = time.Since(mergeStart)
 	}
+	mergeSp.End()
 	return ranked, stats, nil
 }

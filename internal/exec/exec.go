@@ -98,6 +98,12 @@ type Options struct {
 	// atomic add each; a nil Progress costs one predictable branch, keeping
 	// the recorder-off path allocation-free.
 	Progress *obs.Progress
+	// Span, when recording, is the parent under which each worker records
+	// one "eval.worker" child span covering its whole stint, annotated with
+	// the number of positions it evaluated. Spans are batched per worker —
+	// never per position — so per-ball work stays untouched; a zero Span
+	// costs one Recording branch per worker and nothing per ball.
+	Span obs.Span
 }
 
 func (o Options) workers(n int) int {
@@ -139,6 +145,14 @@ type outcome[T any] struct {
 	v   T
 }
 
+// endWorkerSpan completes one worker's batched eval span. The Recording
+// guard keeps the variadic Attr slice from being built when tracing is off.
+func endWorkerSpan(sp obs.Span, evaluated int) {
+	if sp.Recording() {
+		sp.End(obs.Attr{Key: "balls", Value: int64(evaluated)})
+	}
+}
+
 func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, pos int) T, sink func(pos int, v T) bool, ordered bool) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -156,8 +170,14 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 		defer s.flush()
 		poolWorkersActive.Inc()
 		defer poolWorkersActive.Dec()
+		// Plain calls, not a deferred closure: capturing the counter would
+		// heap-allocate it even with tracing off, which the allocs/run
+		// guards forbid.
+		wsp := opts.Span.StartChild("eval.worker")
+		evaluated := 0
 		for pos := 0; pos < n; pos++ {
 			if err := ctx.Err(); err != nil {
+				endWorkerSpan(wsp, evaluated)
 				return err
 			}
 			poolQueueDepth.Dec()
@@ -166,11 +186,13 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 			v := eval(s, pos)
 			poolWorkersBusy.Dec()
 			poolTasks.Inc()
+			evaluated++
 			opts.Progress.Tick()
 			if !sink(pos, v) {
 				break
 			}
 		}
+		endWorkerSpan(wsp, evaluated)
 		return ctx.Err()
 	}
 
@@ -187,6 +209,9 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 			defer s.flush()
 			poolWorkersActive.Inc()
 			defer poolWorkersActive.Dec()
+			wsp := opts.Span.StartChild("eval.worker")
+			evaluated := 0
+			defer func() { endWorkerSpan(wsp, evaluated) }()
 			for pos := range tasks {
 				poolQueueDepth.Dec()
 				undelivered.Add(-1)
@@ -194,6 +219,7 @@ func run[T any](ctx context.Context, opts Options, n int, eval func(s *Scratch, 
 				v := eval(s, pos)
 				poolWorkersBusy.Dec()
 				poolTasks.Inc()
+				evaluated++
 				opts.Progress.Tick()
 				select {
 				case results <- outcome[T]{pos: pos, v: v}:

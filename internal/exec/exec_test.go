@@ -210,20 +210,22 @@ func TestRunProgressTicks(t *testing.T) {
 	}
 }
 
-// TestRunProgressAllocFree pins the flight-recorder contract on the pool:
+// TestRunProgressAllocFree pins the observability contract on the pool:
 // threading a Progress through a run adds no allocations over the nil
-// (recorder-off) path — the tick is one atomic add behind one branch.
+// (recorder-off) path — the tick is one atomic add behind one branch — and
+// an explicitly-zero Span (tracing off) adds none either, so the span
+// plumbing stays free for untraced queries.
 func TestRunProgressAllocFree(t *testing.T) {
 	eval := func(_ *exec.Scratch, pos int) int { return pos }
 	sink := func(pos, v int) bool { return true }
-	runWith := func(p *obs.Progress) {
-		if err := exec.Run(context.Background(), exec.Options{Workers: 1, Progress: p}, 64, eval, sink); err != nil {
+	runWith := func(p *obs.Progress, sp obs.Span) {
+		if err := exec.Run(context.Background(), exec.Options{Workers: 1, Progress: p, Span: sp}, 64, eval, sink); err != nil {
 			t.Fatal(err)
 		}
 	}
-	base := testing.AllocsPerRun(200, func() { runWith(nil) })
+	base := testing.AllocsPerRun(200, func() { runWith(nil, obs.Span{}) })
 	p := new(obs.Progress)
-	withProgress := testing.AllocsPerRun(200, func() { runWith(p) })
+	withProgress := testing.AllocsPerRun(200, func() { runWith(p, obs.Span{}) })
 	if withProgress > base {
 		t.Fatalf("progress ticking allocates: %.2f allocs/run with Progress vs %.2f without", withProgress, base)
 	}

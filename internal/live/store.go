@@ -448,6 +448,15 @@ func (s *Store) applyOne(b *batchState, m Mutation) error {
 // Mutations are applied in order, so edge mutations may reference nodes an
 // earlier add_node in the same batch created. An empty batch is an error.
 func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
+	return s.ApplyTraced(muts, obs.Span{})
+}
+
+// ApplyTraced is Apply under a parent span: the batch records one
+// "live.apply" child covering mutation application and version publication,
+// and one "live.maintain" child per standing query brought current,
+// annotated with the query id and balls re-evaluated. A zero parent (the
+// untraced path — Apply delegates here with one) records nothing.
+func (s *Store) ApplyTraced(muts []Mutation, parent obs.Span) (*UpdateResult, error) {
 	if len(muts) == 0 {
 		return nil, fmt.Errorf("live: empty update batch")
 	}
@@ -456,6 +465,7 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 
 	oldOut, oldIn := s.out, s.in
 
+	applySp := parent.StartChild("live.apply")
 	b := s.newBatch()
 	for i, m := range muts {
 		if err := s.applyOne(b, m); err != nil {
@@ -463,6 +473,7 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 			// failed batch stay in the master table, which is harmless
 			// (identifiers are append-only and unused until referenced).
 			liveBatchesRejected.Inc()
+			applySp.EndStatus("error")
 			return nil, fmt.Errorf("live: batch[%d]: %w", i, err)
 		}
 	}
@@ -476,6 +487,11 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 	ver := s.publishLocked()
 	liveBatches.Inc()
 	liveMutations.Add(int64(len(muts)))
+	if applySp.Recording() {
+		applySp.End(
+			obs.Attr{Key: "mutations", Value: int64(len(muts))},
+			obs.Attr{Key: "version", Value: int64(ver.id)})
+	}
 
 	// Maintain standing queries against the new version.
 	s.qmu.RLock()
@@ -503,7 +519,14 @@ func (s *Store) Apply(muts []Mutation) (*UpdateResult, error) {
 			dirty = s.dirtyCenters(b.seeds, sq.radius, oldOut, oldIn)
 			dirtyByRadius[sq.radius] = dirty
 		}
-		res.Recomputed[sq.id] = s.maintainLocked(sq, ver, dirty)
+		msp := parent.StartChild("live.maintain")
+		n := s.maintainLocked(sq, ver, dirty)
+		res.Recomputed[sq.id] = n
+		if msp.Recording() {
+			msp.End(
+				obs.Attr{Key: "query_id", Value: sq.id},
+				obs.Attr{Key: "balls", Value: int64(n)})
+		}
 	}
 	return res, nil
 }

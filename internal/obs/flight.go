@@ -105,6 +105,7 @@ type Flight struct {
 	id       string
 	kind     string
 	digest   string
+	traceID  string
 	start    time.Time
 	cancel   context.CancelFunc
 	stats    *QueryStats
@@ -116,14 +117,15 @@ type Flight struct {
 // empty; a duplicate of a still-running query is suffixed to stay
 // addressable — the effective id is returned by RequestID). kind names the
 // serving path ("match", "stream", "standing"), digest fingerprints the
-// query shape, cancel is invoked by FlightRecorder.Cancel, and stats — when
-// the query is traced — gets its Progress attached so the exec pool's ticks
-// become visible here. A nil recorder returns a nil Flight.
-func (fr *FlightRecorder) Start(id, kind, digest string, cancel context.CancelFunc, stats *QueryStats) *Flight {
+// query shape, traceID links the flight to its distributed trace (empty
+// when tracing is off), cancel is invoked by FlightRecorder.Cancel, and
+// stats — when the query is traced — gets its Progress attached so the exec
+// pool's ticks become visible here. A nil recorder returns a nil Flight.
+func (fr *FlightRecorder) Start(id, kind, digest, traceID string, cancel context.CancelFunc, stats *QueryStats) *Flight {
 	if fr == nil {
 		return nil
 	}
-	f := &Flight{fr: fr, kind: kind, digest: digest, start: time.Now(), cancel: cancel, stats: stats}
+	f := &Flight{fr: fr, kind: kind, digest: digest, traceID: traceID, start: time.Now(), cancel: cancel, stats: stats}
 	if stats != nil {
 		stats.Progress = &f.progress
 	}
@@ -165,6 +167,7 @@ func (f *Flight) Finish(outcome, errMsg string, matches int) {
 		RequestID: f.id,
 		Kind:      f.kind,
 		Digest:    f.digest,
+		TraceID:   f.traceID,
 		Outcome:   outcome,
 		Error:     errMsg,
 		Start:     f.start,
@@ -173,10 +176,11 @@ func (f *Flight) Finish(outcome, errMsg string, matches int) {
 	}
 	if f.stats != nil {
 		// The coordinating goroutine is done writing by the time it calls
-		// Finish, so a plain copy is race-free; drop the Progress pointer so
-		// the record is a pure snapshot.
+		// Finish, so a plain copy is race-free; drop the Progress and Spans
+		// pointers so the record is a pure snapshot.
 		rec.Stats = *f.stats
 		rec.Stats.Progress = nil
+		rec.Stats.Spans = nil
 	}
 	slow := fr.slowThreshold > 0 && lat >= fr.slowThreshold
 	fr.mu.Lock()
@@ -199,6 +203,7 @@ func (f *Flight) Finish(outcome, errMsg string, matches int) {
 				slog.String("request_id", rec.RequestID),
 				slog.String("kind", rec.Kind),
 				slog.String("digest", rec.Digest),
+				slog.String("trace_id", rec.TraceID),
 				slog.String("outcome", rec.Outcome),
 				slog.Float64("latency_ms", ms(lat)),
 				slog.Int("matches", rec.Matches),
@@ -241,10 +246,14 @@ type ActiveQuery struct {
 	RequestID string
 	Kind      string
 	Digest    string
-	Start     time.Time
-	Elapsed   time.Duration
-	Stage     Stage
-	Balls     int64
+	// TraceID names the query's distributed trace, the pivot into
+	// /v1/debug/traces/{trace_id} once the trace is kept. Empty when
+	// tracing is off.
+	TraceID string
+	Start   time.Time
+	Elapsed time.Duration
+	Stage   Stage
+	Balls   int64
 }
 
 // Active snapshots the in-flight table, oldest query first. Nil-safe.
@@ -260,6 +269,7 @@ func (fr *FlightRecorder) Active() []ActiveQuery {
 			RequestID: f.id,
 			Kind:      f.kind,
 			Digest:    f.digest,
+			TraceID:   f.traceID,
 			Start:     f.start,
 			Elapsed:   now.Sub(f.start),
 			Stage:     f.progress.Stage(),
@@ -294,12 +304,15 @@ type QueryRecord struct {
 	RequestID string
 	Kind      string
 	Digest    string
-	Outcome   string
-	Error     string
-	Start     time.Time
-	Latency   time.Duration
-	Matches   int
-	Stats     QueryStats
+	// TraceID links the record to its trace in the kept-trace store (when
+	// the trace survived tail sampling). Empty when tracing is off.
+	TraceID string
+	Outcome string
+	Error   string
+	Start   time.Time
+	Latency time.Duration
+	Matches int
+	Stats   QueryStats
 }
 
 // Recent returns the completed-query ring, newest first. Nil-safe.

@@ -26,7 +26,7 @@ func newTestRecorder(cfg FlightConfig) (*FlightRecorder, *Registry) {
 func TestFlightLifecycle(t *testing.T) {
 	fr, reg := newTestRecorder(FlightConfig{SlowThreshold: -1})
 	stats := new(QueryStats)
-	fl := fr.Start("req-1", "match", "deadbeef00000000", nil, stats)
+	fl := fr.Start("req-1", "match", "deadbeef00000000", "", nil, stats)
 	if fl.RequestID() != "req-1" {
 		t.Fatalf("request id %q, want req-1", fl.RequestID())
 	}
@@ -92,12 +92,12 @@ func TestFlightLifecycle(t *testing.T) {
 // with a still-running query is suffixed so both stay addressable.
 func TestFlightIDMinting(t *testing.T) {
 	fr, _ := newTestRecorder(FlightConfig{SlowThreshold: -1})
-	anon := fr.Start("", "match", "d", nil, nil)
+	anon := fr.Start("", "match", "d", "", nil, nil)
 	if anon.RequestID() == "" {
 		t.Fatal("empty id not replaced with a generated one")
 	}
-	first := fr.Start("dup", "match", "d", nil, nil)
-	second := fr.Start("dup", "match", "d", nil, nil)
+	first := fr.Start("dup", "match", "d", "", nil, nil)
+	second := fr.Start("dup", "match", "d", "", nil, nil)
 	if first.RequestID() != "dup" {
 		t.Fatalf("first registration got %q, want dup", first.RequestID())
 	}
@@ -131,7 +131,7 @@ func TestFlightIDMinting(t *testing.T) {
 func TestFlightRingWrap(t *testing.T) {
 	fr, _ := newTestRecorder(FlightConfig{RecentSize: 3, SlowThreshold: -1})
 	for i := 1; i <= 5; i++ {
-		fr.Start(fmt.Sprintf("r-%d", i), "match", "d", nil, nil).Finish(OutcomeOK, "", i)
+		fr.Start(fmt.Sprintf("r-%d", i), "match", "d", "", nil, nil).Finish(OutcomeOK, "", i)
 	}
 	recent := fr.Recent()
 	if len(recent) != 3 {
@@ -154,7 +154,7 @@ func TestFlightSlowClassification(t *testing.T) {
 		Log:           slog.New(slog.NewJSONHandler(&logBuf, nil)),
 	})
 	stats := &QueryStats{CandidateCenters: 4, Eval: 2 * time.Millisecond}
-	fl := fr.Start("slow-1", "match", "d", nil, stats)
+	fl := fr.Start("slow-1", "match", "d", "", nil, stats)
 	time.Sleep(time.Microsecond) // any positive latency crosses a 1ns threshold
 	fl.Finish(OutcomeOK, "", 2)
 
@@ -189,7 +189,7 @@ func TestFlightSlowClassification(t *testing.T) {
 		SlowThreshold: -1,
 		Log:           slog.New(slog.NewJSONHandler(&quiet, nil)),
 	})
-	off.Start("fast", "match", "d", nil, nil).Finish(OutcomeOK, "", 0)
+	off.Start("fast", "match", "d", "", nil, nil).Finish(OutcomeOK, "", 0)
 	if len(off.Slow()) != 0 || offReg.Counter("slow_queries_total", "").Value() != 0 || quiet.Len() != 0 {
 		t.Error("negative threshold still classified a query as slow")
 	}
@@ -200,7 +200,7 @@ func TestFlightSlowClassification(t *testing.T) {
 func TestFlightCancel(t *testing.T) {
 	fr, _ := newTestRecorder(FlightConfig{SlowThreshold: -1})
 	ctx, cancel := context.WithCancel(context.Background())
-	fl := fr.Start("victim", "match", "d", cancel, nil)
+	fl := fr.Start("victim", "match", "d", "", cancel, nil)
 
 	if fr.Cancel("no-such-id") {
 		t.Error("Cancel of an unknown id reported found")
@@ -227,7 +227,7 @@ func TestFlightCancel(t *testing.T) {
 // cannot double-decrement the gauge or duplicate the record.
 func TestFlightDoubleFinish(t *testing.T) {
 	fr, reg := newTestRecorder(FlightConfig{SlowThreshold: -1})
-	fl := fr.Start("once", "match", "d", nil, nil)
+	fl := fr.Start("once", "match", "d", "", nil, nil)
 	fl.Finish(OutcomeError, "boom", 0)
 	fl.Finish(OutcomeOK, "", 9)
 	if got := len(fr.Recent()); got != 1 {
@@ -245,7 +245,7 @@ func TestFlightDoubleFinish(t *testing.T) {
 // flights through the whole serving surface; every call must be a no-op.
 func TestFlightNilSafety(t *testing.T) {
 	var fr *FlightRecorder
-	fl := fr.Start("id", "match", "d", nil, nil)
+	fl := fr.Start("id", "match", "d", "", nil, nil)
 	if fl != nil {
 		t.Fatal("nil recorder returned a non-nil Flight")
 	}
@@ -301,7 +301,7 @@ func TestFlightConcurrentUse(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				stats := new(QueryStats)
 				_, cancel := context.WithCancel(context.Background())
-				fl := fr.Start(fmt.Sprintf("w%d-%d", w, i), "match", "d", cancel, stats)
+				fl := fr.Start(fmt.Sprintf("w%d-%d", w, i), "match", "d", "", cancel, stats)
 				stats.EnterStage(StageEval)
 				stats.Live().Tick()
 				if i%3 == 0 {

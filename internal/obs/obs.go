@@ -1,7 +1,11 @@
 // Package obs is the dependency-free observability layer of the serving
 // stack: a concurrency-safe metrics registry (counters, gauges, fixed-bucket
-// latency histograms) rendered in the Prometheus text exposition format, and
-// the per-query stage trace (QueryStats) the engine fills on demand.
+// latency histograms) rendered in the Prometheus text exposition format, the
+// per-query stage trace (QueryStats) the engine fills on demand, the flight
+// recorder behind /v1/debug, and a request Tracer minting hierarchical span
+// traces with W3C traceparent propagation and tail-based sampling (keep when
+// slow, errored, explicitly sampled, or head-sampled) into a fixed-size
+// kept-trace ring served by /v1/debug/traces.
 //
 // Every instrumented package registers its metrics into Default at package
 // init and updates them with atomic operations; GET /v1/metrics (package api)

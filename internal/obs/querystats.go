@@ -120,6 +120,23 @@ type QueryStats struct {
 	// Flight creation; a plain "stats": true trace leaves it nil. Progress
 	// is the only field of a QueryStats that may be touched concurrently.
 	Progress *Progress
+
+	// Spans, when non-nil, receives one hierarchical span per engine stage
+	// in addition to the flat durations above, parented under Parent (the
+	// request's root span on the serving path). StartSpan reads both;
+	// leaving Spans nil keeps the whole span path at one branch per stage.
+	Spans  *Trace
+	Parent SpanID
+}
+
+// StartSpan opens a stage span on the query's trace, parented under the
+// request's root span. A nil receiver or a nil Spans returns a zero Span
+// whose methods are no-ops, so the engine marks stages unconditionally.
+func (qs *QueryStats) StartSpan(name string) Span {
+	if qs == nil || qs.Spans == nil {
+		return Span{}
+	}
+	return qs.Spans.StartSpan(name, qs.Parent)
 }
 
 // EnterStage publishes a stage transition to the live progress view. A nil
