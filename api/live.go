@@ -34,6 +34,11 @@ func (m MutationJSON) toMutation(i int) (live.Mutation, error) {
 			return out, fmt.Errorf("updates[%d]: delete_node requires \"node\"", i)
 		}
 		out.Node = *m.Node
+	case live.OpSetLabel:
+		if m.Node == nil || m.Label == nil {
+			return out, fmt.Errorf("updates[%d]: set_label requires \"node\" and \"label\"", i)
+		}
+		out.Node, out.Label = *m.Node, *m.Label
 	default:
 		return out, fmt.Errorf("updates[%d]: unknown op %q", i, m.Op)
 	}

@@ -106,6 +106,17 @@ func (ri *requestInfo) setOutcome(outcome string) {
 	}
 }
 
+// generateNodeID mints the stable random node identifier a server reports
+// in /v1/healthz when Config.NodeID is unset. Stable for the server's
+// lifetime: withDefaults runs once, at construction.
+func generateNodeID() string {
+	var buf [4]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "node-unidentified"
+	}
+	return "node-" + hex.EncodeToString(buf[:])
+}
+
 // requestID returns the client-supplied id when it is usable (printable
 // ASCII, bounded length) and a fresh random id otherwise.
 func requestID(r *http.Request) string {

@@ -59,6 +59,18 @@ type Config struct {
 	// a sampled traceparent. Zero keeps only those; only meaningful with
 	// EnableDebug.
 	TraceSampleRate float64
+	// NodeID is the stable fleet-member identifier reported in
+	// /v1/healthz; empty generates a random one at server construction, so
+	// probes can always tell two processes apart.
+	NodeID string
+	// Role names the deployment shape in /v1/healthz: RoleStandalone
+	// (default), RoleShard (a fleet member behind a router) or RoleRouter.
+	Role string
+	// Tracer, when set together with EnableDebug, is used instead of a
+	// freshly constructed tracer. A fronting tier (cmd/strongsim-router)
+	// shares one tracer with its embedded server so fan-out spans and
+	// /v1/debug/traces read from the same kept ring.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +82,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.NodeID == "" {
+		c.NodeID = generateNodeID()
+	}
+	if c.Role == "" {
+		c.Role = RoleStandalone
 	}
 	return c
 }
@@ -126,11 +144,14 @@ func (s *server) routes() http.Handler {
 			SlowThreshold: s.cfg.SlowQueryThreshold,
 			Log:           s.cfg.AccessLog,
 		})
-		s.tracer = obs.NewTracer(obs.TraceConfig{
-			SampleRate:    s.cfg.TraceSampleRate,
-			SlowThreshold: s.cfg.SlowQueryThreshold,
-			Log:           s.cfg.AccessLog,
-		})
+		s.tracer = s.cfg.Tracer
+		if s.tracer == nil {
+			s.tracer = obs.NewTracer(obs.TraceConfig{
+				SampleRate:    s.cfg.TraceSampleRate,
+				SlowThreshold: s.cfg.SlowQueryThreshold,
+				Log:           s.cfg.AccessLog,
+			})
+		}
 	}
 	rt := newRouter()
 	s.route(rt, "GET", Prefix+"/healthz", s.handleHealth)
@@ -346,6 +367,8 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	e := s.engine()
 	h := HealthJSON{
 		Status:        "ok",
+		NodeID:        s.cfg.NodeID,
+		Role:          s.cfg.Role,
 		UptimeSeconds: obs.Uptime().Seconds(),
 		GoVersion:     runtime.Version(),
 		ModuleVersion: moduleVersion(),

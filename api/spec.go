@@ -49,6 +49,12 @@ type QuerySpec struct {
 	// carries a QueryStatsJSON with candidate-center and ball-size totals
 	// plus per-stage wall times. Tracing never changes the matches.
 	Stats bool `json:"stats,omitempty"`
+	// AllowPartial opts into degraded scatter/gather responses on router
+	// deployments: when a shard is unavailable after every replica and retry,
+	// the router answers the reachable shards' results with a PartialJSON
+	// marker instead of failing with CodeShardUnavailable. Single-node
+	// servers ignore it (their responses are always complete).
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // MetricByName resolves a wire metric name to its ranking function.

@@ -21,12 +21,26 @@ type MatchRequest struct {
 
 // MatchResponse is the JSON body answering POST /v1/match (and the legacy
 // /match alias, byte-identically). QueryStats is present exactly when the
-// request set "stats": true.
+// request set "stats": true. Partial is present only on router deployments
+// and only when the request set "allow_partial": true and at least one shard
+// was unavailable — the matches are then complete except for centers owned
+// by the failed shards.
 type MatchResponse struct {
 	Matches    []SubgraphJSON  `json:"matches"`
 	Stats      StatsJSON       `json:"stats"`
 	QueryStats *QueryStatsJSON `json:"query_stats,omitempty"`
+	Partial    *PartialJSON    `json:"partial,omitempty"`
 	ElapsedMS  float64         `json:"elapsed_ms"`
+}
+
+// PartialJSON marks a degraded scatter/gather response: the shards that
+// could not be reached (after every replica and retry was exhausted) and how
+// many data nodes — potential ball centers — those shards own. Responses
+// missing results are never silent: either this marker is present or the
+// request failed with CodeShardUnavailable.
+type PartialJSON struct {
+	FailedShards []int `json:"failed_shards"`
+	MissingNodes int   `json:"missing_nodes"`
 }
 
 // SubgraphJSON serializes one perfect subgraph. Rel maps pattern node ids
@@ -64,6 +78,7 @@ type StreamDoneJSON struct {
 	Matches    int             `json:"matches"`
 	Stats      StatsJSON       `json:"stats"`
 	QueryStats *QueryStatsJSON `json:"query_stats,omitempty"`
+	Partial    *PartialJSON    `json:"partial,omitempty"`
 	ElapsedMS  float64         `json:"elapsed_ms"`
 	Code       string          `json:"code,omitempty"`
 	Error      string          `json:"error,omitempty"`
@@ -79,20 +94,43 @@ type GraphInfoJSON struct {
 	PreparedRadii []int  `json:"prepared_radii"`
 }
 
+// Deployment roles reported in HealthJSON.Role.
+const (
+	RoleStandalone = "standalone"
+	RoleShard      = "shard"
+	RoleRouter     = "router"
+)
+
 // HealthJSON answers GET /v1/healthz. Version and Queries stay 0 on
 // read-only deployments. ModuleVersion is "(devel)" outside a released
-// module build.
+// module build. NodeID and Role identify the fleet member answering:
+// NodeID is stable for the process lifetime (operator-assigned or generated
+// at startup), Role is one of the Role* constants. Shards is present only
+// on routers: one summary per shard of the fan-out tier.
 type HealthJSON struct {
-	Status        string  `json:"status"`
-	Version       uint64  `json:"version"`
-	Nodes         int     `json:"nodes"`
-	Edges         int     `json:"edges"`
-	Labels        int     `json:"labels"`
-	Queries       int     `json:"queries"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	GoVersion     string  `json:"go_version"`
-	ModuleVersion string  `json:"module_version,omitempty"`
-	Workers       int     `json:"workers"`
+	Status        string            `json:"status"`
+	NodeID        string            `json:"node_id,omitempty"`
+	Role          string            `json:"role,omitempty"`
+	Version       uint64            `json:"version"`
+	Nodes         int               `json:"nodes"`
+	Edges         int               `json:"edges"`
+	Labels        int               `json:"labels"`
+	Queries       int               `json:"queries"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	GoVersion     string            `json:"go_version"`
+	ModuleVersion string            `json:"module_version,omitempty"`
+	Workers       int               `json:"workers"`
+	Shards        []ShardHealthJSON `json:"shards,omitempty"`
+}
+
+// ShardHealthJSON summarizes one shard of a router deployment: how many
+// replicas it has, how many currently serve (healthy and at the expected
+// version), and the version the router expects the shard to be at.
+type ShardHealthJSON struct {
+	Shard    int    `json:"shard"`
+	Replicas int    `json:"replicas"`
+	Serving  int    `json:"serving"`
+	Version  uint64 `json:"version"`
 }
 
 // Mutation op names, mirroring internal/live.
@@ -101,14 +139,16 @@ const (
 	OpInsertEdge = "insert_edge"
 	OpDeleteEdge = "delete_edge"
 	OpDeleteNode = "delete_node"
+	OpSetLabel   = "set_label"
 )
 
 // MutationJSON is one element of an update batch. Which fields matter
 // depends on Op: add_node reads Label; insert_edge and delete_edge read U
-// and V; delete_node reads Node. Fields are pointers so the handler can
-// tell an explicit 0 from an omitted field — every destructive op must name
-// its target, or a misspelled field would silently target node 0. Build
-// mutations with AddNode, InsertEdge, DeleteEdge and DeleteNode.
+// and V; delete_node reads Node; set_label reads Node and Label. Fields are
+// pointers so the handler can tell an explicit 0 from an omitted field —
+// every destructive op must name its target, or a misspelled field would
+// silently target node 0. Build mutations with AddNode, InsertEdge,
+// DeleteEdge, DeleteNode and SetLabel.
 type MutationJSON struct {
 	Op    string  `json:"op"`
 	Label *string `json:"label,omitempty"`
@@ -137,6 +177,13 @@ func DeleteNode(node int32) MutationJSON {
 	return MutationJSON{Op: OpDeleteNode, Node: &node}
 }
 
+// SetLabel builds a set_label mutation: the node keeps its id and edges but
+// changes label. The sharded serving tier uses it to promote and demote halo
+// replicas; it is equally available to ordinary clients.
+func SetLabel(node int32, label string) MutationJSON {
+	return MutationJSON{Op: OpSetLabel, Node: &node, Label: &label}
+}
+
 // UpdateRequest is the JSON body of POST /v1/update.
 type UpdateRequest struct {
 	Updates []MutationJSON `json:"updates"`
@@ -144,14 +191,18 @@ type UpdateRequest struct {
 
 // UpdateResponse answers POST /v1/update. Recomputed maps standing-query
 // ids (serialized as decimal strings, as encoding/json renders integer
-// keys) to the balls re-evaluated maintaining them.
+// keys) to the balls re-evaluated maintaining them. ShardVersions is
+// present only on router deployments: the version the router now expects
+// each shard to be at after forwarding the batch (the router-side version
+// vector), keyed by shard index.
 type UpdateResponse struct {
-	Version    uint64        `json:"version"`
-	Nodes      int           `json:"nodes"`
-	Edges      int           `json:"edges"`
-	AddedNodes []int32       `json:"added_nodes,omitempty"`
-	Recomputed map[int64]int `json:"recomputed,omitempty"`
-	ElapsedMS  float64       `json:"elapsed_ms"`
+	Version       uint64         `json:"version"`
+	Nodes         int            `json:"nodes"`
+	Edges         int            `json:"edges"`
+	AddedNodes    []int32        `json:"added_nodes,omitempty"`
+	Recomputed    map[int64]int  `json:"recomputed,omitempty"`
+	ShardVersions map[int]uint64 `json:"shard_versions,omitempty"`
+	ElapsedMS     float64        `json:"elapsed_ms"`
 }
 
 // RegisterRequest is the JSON body of POST /v1/queries. Exactly one of

@@ -34,8 +34,9 @@ import (
 // Client speaks the /v1 protocol against one base URL. It is safe for
 // concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // Option customizes a Client.
@@ -155,19 +156,49 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, in, out any
 }
 
 func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		buf, err = json.Marshal(in)
 		if err != nil {
 			return nil, fmt.Errorf("client: encoding %s %s request: %w", method, path, err)
 		}
+	}
+	attempts := 1
+	if c.retry.enabled() {
+		attempts = c.retry.MaxAttempts
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.sendOnce(ctx, method, path, in != nil, buf)
+		last := attempt == attempts-1
+		switch {
+		case err == nil && !retryableStatus(resp.StatusCode):
+			return resp, nil // success or a 4xx the caller must see
+		case err == nil && last:
+			return resp, nil // final 5xx: hand the caller the real error body
+		case err == nil:
+			discard(resp) // 5xx with attempts left
+		case !retryableError(err) || last:
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if !sleep(ctx, c.retry.delay(attempt)) {
+			return nil, fmt.Errorf("client: %s %s: %w", method, path, ctx.Err())
+		}
+	}
+}
+
+// sendOnce performs one attempt of send; the body is rebuilt per attempt so
+// retries never replay a consumed reader.
+func (c *Client) sendOnce(ctx context.Context, method, path string, hasBody bool, buf []byte) (*http.Response, error) {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return nil, err // send wraps
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
@@ -178,7 +209,7 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %s %s: %w", method, path, err)
+		return nil, err
 	}
 	if dst, ok := ctx.Value(requestIDCaptureKey{}).(*string); ok && dst != nil {
 		*dst = resp.Header.Get(api.RequestIDHeader)

@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+)
+
+// flaky answers 5xx (or refuses) for the first fail requests, then succeeds.
+func flaky(t *testing.T, fail int, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= fail {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write([]byte(`{"status":503,"code":"unavailable","error":"warming up"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","nodes":1,"edges":0,"labels":1,"version":0,"queries":0,"uptime_seconds":1,"go_version":"go","workers":1}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestRetryRecoversFrom5xx(t *testing.T) {
+	ts, calls := flaky(t, 2, http.StatusServiceUnavailable)
+	cl := New(ts.URL, WithRetryPolicy(fastRetry(3)))
+	if _, err := cl.Healthz(context.Background()); err != nil {
+		t.Fatalf("two 503s then success should succeed under MaxAttempts=3: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestRetryExhaustionSurfacesFinalBody(t *testing.T) {
+	ts, calls := flaky(t, 10, http.StatusServiceUnavailable)
+	cl := New(ts.URL, WithRetryPolicy(fastRetry(3)))
+	_, err := cl.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("persistent 503 must fail")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts=3", got)
+	}
+	// The final 5xx response decodes as a structured error, not a wrapped
+	// transport failure.
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want the final *api.Error 503, got %v", err)
+	}
+}
+
+func TestRetryNever4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"status":400,"code":"invalid_request","error":"nope"}`))
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithRetryPolicy(fastRetry(5)))
+	if _, err := cl.Healthz(context.Background()); err == nil {
+		t.Fatal("400 must fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("a 4xx was retried: server saw %d calls", got)
+	}
+}
+
+func TestRetryConnectionError(t *testing.T) {
+	// A refused port: every attempt fails at the transport. The call must
+	// try exactly MaxAttempts times and surface the connection error.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := ts.URL
+	ts.Close() // now refuses
+	cl := New(addr, WithRetryPolicy(fastRetry(2)))
+	start := time.Now()
+	_, err := cl.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("closed server must fail")
+	}
+	if !strings.Contains(err.Error(), "connect") && !strings.Contains(err.Error(), "refused") {
+		t.Logf("transport error surfaced as: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("no backoff happened before the retry")
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	ts, calls := flaky(t, 10, http.StatusInternalServerError)
+	cl := New(ts.URL, WithRetryPolicy(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}))
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	if _, err := cl.Healthz(ctx); err == nil {
+		t.Fatal("deadline during backoff must fail")
+	}
+	if got := calls.Load(); got >= 10 {
+		t.Fatalf("context expiry should cut retries short, server saw %d calls", got)
+	}
+}
+
+func TestRetryZeroPolicyDisabled(t *testing.T) {
+	ts, calls := flaky(t, 1, http.StatusServiceUnavailable)
+	cl := New(ts.URL)
+	if _, err := cl.Healthz(context.Background()); err == nil {
+		t.Fatal("single 503 with no retry policy must fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("zero policy must not retry, server saw %d calls", got)
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: 0.5}
+	for retry := 0; retry < 64; retry++ {
+		d := p.delay(retry)
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("delay(%d) = %v out of (0, MaxDelay]", retry, d)
+		}
+	}
+	// Jitter 0 means the documented default, not "no jitter": the delay
+	// still lands within [half, full] of the deterministic backoff.
+	p.Jitter = 0
+	for i := 0; i < 100; i++ {
+		if d := p.delay(1); d < 10*time.Millisecond || d > 20*time.Millisecond {
+			t.Fatalf("delay(1) = %v outside [base, 2*base] under default jitter", d)
+		}
+	}
+}

@@ -74,6 +74,7 @@ func main() {
 		patterns    = flag.Int("patterns", 8, "distinct patterns sampled from the graph")
 		mode        = flag.String("mode", api.ModePlus, "query mode (plain or plus)")
 		out         = flag.String("out", "BENCH_PR8.json", "report file ('-' for stdout)")
+		partialOK   = flag.Bool("partial-ok", false, "set query.allow_partial on match requests: a sharded router answers with degraded results instead of 502 when shards are down; the report splits complete from partial responses")
 		debugOn     = flag.Bool("debug", false, "enable /v1/debug on the self-hosted server and audit its flight recorder and kept traces after the run")
 		traceRate   = flag.Float64("trace-sample", 0, "head-sampling rate [0,1] for the self-hosted server's request tracer (with -debug)")
 	)
@@ -100,9 +101,10 @@ func main() {
 		base, h.Nodes, h.Edges, h.Workers, h.GoVersion)
 
 	run := &runner{
-		cl:   cl,
-		mode: *mode,
-		pats: samplePatterns(g, *patterns, *seed),
+		cl:        cl,
+		mode:      *mode,
+		pats:      samplePatterns(g, *patterns, *seed),
+		partialOK: *partialOK,
 	}
 	if mix.update > 0 || mix.standing > 0 {
 		if err := run.setupMutable(ctx, h.Nodes); err != nil {
@@ -142,6 +144,7 @@ func main() {
 	rep.Config.Mix = *mixSpec
 	rep.Config.Mode = *mode
 	rep.Config.Patterns = *patterns
+	rep.Config.PartialOK = *partialOK
 	auditFlightRecorder(ctx, cl, rep, *debugOn)
 	auditTraces(ctx, cl, rep, *debugOn, *traceRate)
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -352,18 +355,21 @@ func parseMix(spec string) (mixWeights, error) {
 
 // runner drives the three op kinds and accumulates per-endpoint outcomes.
 type runner struct {
-	cl   *client.Client
-	mode string
-	pats []string
+	cl        *client.Client
+	mode      string
+	pats      []string
+	partialOK bool
 
 	queryID int64 // standing query registered at setup
 	edgeU   int32 // endpoints of the churn edge update ops toggle
 	edgeV   int32
 
-	mu      sync.Mutex
-	lat     map[string][]float64 // endpoint -> request latencies (ms)
-	errs    map[string]int64
-	matches atomic.Int64
+	mu       sync.Mutex
+	lat      map[string][]float64 // endpoint -> request latencies (ms)
+	errs     map[string]int64
+	matches  atomic.Int64
+	complete atomic.Int64 // match responses with the full result set
+	partial  atomic.Int64 // match responses carrying a partial marker
 }
 
 func (r *runner) record(endpoint string, d time.Duration, err error) {
@@ -413,10 +419,15 @@ func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
 	case pick < m.match:
 		pat := r.pats[rng.Intn(len(r.pats))]
 		start := time.Now()
-		res, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode})
+		res, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode, AllowPartial: r.partialOK})
 		r.record("/v1/match", time.Since(start), err)
 		if err == nil {
 			r.matches.Add(int64(len(res.Matches)))
+			if res.Partial != nil {
+				r.partial.Add(1)
+			} else {
+				r.complete.Add(1)
+			}
 		}
 	case pick < m.match+m.update:
 		// Insert-then-delete of one edge in a single atomic batch: real
@@ -443,11 +454,14 @@ type Report struct {
 		Mix         string `json:"mix"`
 		Mode        string `json:"mode"`
 		Patterns    int    `json:"patterns"`
+		PartialOK   bool   `json:"partial_ok,omitempty"`
 	} `json:"config"`
 	DurationSeconds    float64                   `json:"duration_seconds"`
 	TotalRequests      int64                     `json:"total_requests"`
 	TotalErrors        int64                     `json:"total_errors"`
 	TotalMatches       int64                     `json:"total_matches"`
+	CompleteResponses  int64                     `json:"complete_responses"`
+	PartialResponses   int64                     `json:"partial_responses"`
 	SlowQueries        int                       `json:"slow_queries"`
 	TracesKept         int                       `json:"traces_kept"`
 	TraceStages        map[string]StageQuantiles `json:"trace_stage_quantiles,omitempty"`
@@ -480,6 +494,8 @@ func (r *runner) report(elapsed time.Duration, serverDelta map[string]float64) *
 	rep := &Report{
 		DurationSeconds:    elapsed.Seconds(),
 		TotalMatches:       r.matches.Load(),
+		CompleteResponses:  r.complete.Load(),
+		PartialResponses:   r.partial.Load(),
 		Endpoints:          make(map[string]EndpointStats),
 		ServerMetricsDelta: serverDelta,
 	}

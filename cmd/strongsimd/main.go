@@ -55,8 +55,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("strongsimd: ")
 	var (
-		dataPath   = flag.String("data", "", "data graph file (required)")
+		dataPath   = flag.String("data", "", "data graph file (required unless -role shard)")
 		addr       = flag.String("addr", ":8372", "listen address")
+		role       = flag.String("role", api.RoleStandalone, "deployment role reported in healthz: standalone or shard (shards start empty and are pushed their subgraph by strongsim-router)")
+		nodeID     = flag.String("node-id", "", "stable node identifier reported in healthz (default: generated at startup)")
 		workers    = flag.Int("workers", 0, "ball-evaluation workers per query (0 = GOMAXPROCS)")
 		radiiSpec  = flag.String("prepare-radii", "", "comma-separated ball radii to precompute (e.g. 1,2)")
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
@@ -69,21 +71,32 @@ func main() {
 		traceRate  = flag.Float64("trace-sample", 0, "head-sampling probability [0,1] for keeping fast successful request traces; slow and errored traces are kept regardless (with -debug)")
 	)
 	flag.Parse()
-	if *dataPath == "" {
+	if *role != api.RoleStandalone && *role != api.RoleShard {
+		log.Fatalf("-role %q: want %q or %q", *role, api.RoleStandalone, api.RoleShard)
+	}
+	// A shard may (and normally does) start empty: the router pushes its
+	// halo-extended subgraph over /v1/update before serving traffic.
+	if *dataPath == "" && *role != api.RoleShard {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*dataPath)
-	if err != nil {
-		log.Fatal(err)
+	var g *graph.Graph
+	if *dataPath == "" {
+		g, _ = graph.ParseString("", graph.NewLabels())
+		log.Printf("starting empty (role %s)", *role)
+	} else {
+		f, err := os.Open(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = graph.Parse(f, graph.NewLabels())
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *dataPath, err)
+		}
+		log.Printf("loaded %v", g)
 	}
-	g, err := graph.Parse(f, graph.NewLabels())
-	f.Close()
-	if err != nil {
-		log.Fatalf("%s: %v", *dataPath, err)
-	}
-	log.Printf("loaded %v", g)
 
 	radii, err := parseRadii(*radiiSpec)
 	if err != nil {
@@ -110,6 +123,8 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: api.NewLiveServer(store, api.Config{
+			NodeID:             *nodeID,
+			Role:               *role,
 			DefaultTimeout:     *timeout,
 			MaxTimeout:         *maxTimeout,
 			MaxBodyBytes:       *maxBody,

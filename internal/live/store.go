@@ -85,12 +85,13 @@ const (
 	OpInsertEdge Op = "insert_edge"
 	OpDeleteEdge Op = "delete_edge"
 	OpDeleteNode Op = "delete_node"
+	OpSetLabel   Op = "set_label"
 )
 
 // Mutation is one element of an update batch. Which fields matter depends
 // on Op: add_node reads Label; insert_edge and delete_edge read U and V;
-// delete_node reads Node. Edge mutations may reference nodes added earlier
-// in the same batch.
+// delete_node reads Node; set_label reads Node and Label. Edge mutations
+// may reference nodes added earlier in the same batch.
 type Mutation struct {
 	Op    Op     `json:"op"`
 	Label string `json:"label,omitempty"`
@@ -430,6 +431,40 @@ func (s *Store) applyOne(b *batchState, m Mutation) error {
 		b.byLabel[old], _ = removeSorted(b.byLabel[old], m.Node)
 		b.ownByLabel(s.tombstone)
 		b.byLabel[s.tombstone], _ = insertSorted(b.byLabel[s.tombstone], m.Node)
+		b.seed(m.Node)
+		return nil
+
+	case OpSetLabel:
+		if err := b.checkNode(m.Node, "set_label"); err != nil {
+			return err
+		}
+		if m.Label == "" {
+			return fmt.Errorf("live: set_label requires a label")
+		}
+		if m.Label == TombstoneLabel {
+			return fmt.Errorf("live: label is reserved")
+		}
+		if s.isTombstone(b.nodeLbl[m.Node]) {
+			return fmt.Errorf("live: set_label targets deleted node %d", m.Node)
+		}
+		lbl := s.labels.ID(m.Label)
+		if lbl == graph.NoLabel {
+			lbl = s.labels.Intern(m.Label)
+			s.labelsDirty = true
+		}
+		old := b.nodeLbl[m.Node]
+		if old == lbl {
+			return nil // re-labeling to the current label is a no-op
+		}
+		if !b.nodeLblCopied {
+			b.nodeLbl = append([]int32(nil), b.nodeLbl...)
+			b.nodeLblCopied = true
+		}
+		b.nodeLbl[m.Node] = lbl
+		b.ownByLabel(old)
+		b.byLabel[old], _ = removeSorted(b.byLabel[old], m.Node)
+		b.ownByLabel(lbl)
+		b.byLabel[lbl], _ = insertSorted(b.byLabel[lbl], m.Node)
 		b.seed(m.Node)
 		return nil
 

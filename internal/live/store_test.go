@@ -388,3 +388,86 @@ func TestStoreLocality(t *testing.T) {
 		t.Fatal("X->X chain edges should match")
 	}
 }
+
+func TestStoreSetLabel(t *testing.T) {
+	g := chain([]string{"A", "B", "C"}, 6) // A->B->C->A->B->C
+	s := NewStore(g, Config{})
+	sq := edgePattern(t, s) // A->B, matches twice
+	if res, _ := sq.Result(); res.Len() != 2 {
+		t.Fatalf("want 2 matches before relabel, got %d", res.Len())
+	}
+
+	// Relabel node 1 (B) to A: the A0->B1 match disappears, the label
+	// index moves the node, and the standing query tracks it.
+	if _, err := s.Apply([]Mutation{{Op: OpSetLabel, Node: 1, Label: "A"}}); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Current().Graph()
+	if got := cur.LabelName(1); got != "A" {
+		t.Fatalf("node 1 label = %q after set_label", got)
+	}
+	if got := cur.NodesWithLabelName("B"); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("label index for B = %v, want [4]", got)
+	}
+	if got := cur.NodesWithLabelName("A"); len(got) != 3 {
+		t.Fatalf("label index for A = %v, want 3 nodes", got)
+	}
+	if res, _ := sq.Result(); res.Len() != 1 {
+		t.Fatalf("want 1 match after relabel, got %d", res.Len())
+	}
+	checkAgainstScratch(t, s, sq)
+
+	// A brand-new label interns into the master table and matches a query
+	// registered before it existed.
+	sqNew, err := s.Register("node a Z\nnode b C\nedge a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sqNew.Result(); res.Len() != 0 {
+		t.Fatal("Z does not exist yet")
+	}
+	if _, err := s.Apply([]Mutation{{Op: OpSetLabel, Node: 1, Label: "Z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := sqNew.Result(); res.Len() != 1 {
+		t.Fatalf("Z1->C2 should match once, got %d", res.Len())
+	}
+	checkAgainstScratch(t, s, sqNew)
+
+	// Old versions stay immutable.
+	if got := s.Current().Graph().LabelName(1); got != "Z" {
+		t.Fatalf("node 1 = %q", got)
+	}
+
+	// Relabeling to the same label is a no-op inside the batch but the
+	// batch still publishes a version.
+	before := s.Current().ID()
+	if _, err := s.Apply([]Mutation{{Op: OpSetLabel, Node: 1, Label: "Z"}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current().ID() != before+1 {
+		t.Fatal("no-op relabel batch should still version")
+	}
+
+	// Rejections: missing target, empty and reserved labels, deleted and
+	// out-of-range nodes.
+	if _, err := s.Apply([]Mutation{{Op: OpDeleteNode, Node: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	ver := s.Current().ID()
+	bad := [][]Mutation{
+		{{Op: OpSetLabel, Node: 9, Label: "A"}},
+		{{Op: OpSetLabel, Node: -1, Label: "A"}},
+		{{Op: OpSetLabel, Node: 0, Label: ""}},
+		{{Op: OpSetLabel, Node: 0, Label: TombstoneLabel}},
+		{{Op: OpSetLabel, Node: 5, Label: "A"}}, // deleted
+	}
+	for _, muts := range bad {
+		if _, err := s.Apply(muts); err == nil {
+			t.Fatalf("batch %v should be rejected", muts)
+		}
+	}
+	if s.Current().ID() != ver {
+		t.Fatal("rejected set_label batches must not publish")
+	}
+}

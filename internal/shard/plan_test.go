@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/graph"
+)
+
+// TestHaloContainment is the ball-locality invariant the whole tier rests
+// on: for every node v, every partition strategy, every shard count and
+// every radius r ≤ halo, the ball Ĝ[v, r] of the global graph lies entirely
+// inside the member set of the shard owning v. Randomized over synthetic
+// graphs of several densities.
+func TestHaloContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 7, 60, 200} {
+		for _, alpha := range []float64{1.05, 1.2} {
+			g := generator.Synthetic(n, alpha, 6, rng.Int63())
+			for _, strategy := range []string{StrategyBFS, StrategyHash} {
+				for _, k := range []int{1, 2, 3, 5} {
+					for _, halo := range []int{1, 2, 3} {
+						plan, err := BuildPlan(g, k, halo, strategy)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := plan.Validate(g.NumNodes()); err != nil {
+							t.Fatal(err)
+						}
+						members := plan.Members(g)
+						for v := int32(0); v < int32(g.NumNodes()); v++ {
+							member := members[plan.Owner[v]]
+							ball := graph.NewBall(g, v, halo)
+							for _, u := range ball.Orig {
+								if !member[u] {
+									t.Fatalf("n=%d %s k=%d halo=%d: node %d of ball(%d,%d) not replicated on owning shard %d",
+										n, strategy, k, halo, u, v, halo, plan.Owner[v])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMembersInducedBallsIdentical checks the stronger statement the merge
+// rule needs: the ball computed inside the shard's induced member subgraph
+// equals the global ball, node for node and edge for edge.
+func TestMembersInducedBallsIdentical(t *testing.T) {
+	g := generator.Synthetic(120, 1.2, 5, 7)
+	const halo = 2
+	plan, err := BuildPlan(g, 3, halo, StrategyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := plan.Members(g)
+	for s := 0; s < plan.K; s++ {
+		var keep []int32
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if members[s][v] {
+				keep = append(keep, v)
+			}
+		}
+		sub, orig, toSub := g.InducedSubgraph(keep)
+		for v := int32(0); v < int32(g.NumNodes()); v++ {
+			if plan.Owner[v] != int32(s) {
+				continue
+			}
+			global := graph.NewBall(g, v, halo)
+			local := graph.NewBall(sub, toSub[v], halo)
+			if global.NumNodes() != local.NumNodes() {
+				t.Fatalf("shard %d center %d: global ball %d nodes, shard-local %d",
+					s, v, global.NumNodes(), local.NumNodes())
+			}
+			if ge, le := global.G.NumEdges(), local.G.NumEdges(); ge != le {
+				t.Fatalf("shard %d center %d: global ball %d edges, shard-local %d", s, v, ge, le)
+			}
+			// Same members, mapped back to global ids.
+			seen := make(map[int32]bool, len(global.Orig))
+			for _, u := range global.Orig {
+				seen[u] = true
+			}
+			for _, u := range local.Orig {
+				if !seen[orig[u]] {
+					t.Fatalf("shard %d center %d: local ball node %d not in global ball", s, v, orig[u])
+				}
+			}
+		}
+	}
+}
+
+func TestPlanExtendToRoundRobin(t *testing.T) {
+	g := generator.Synthetic(10, 1.2, 3, 1)
+	plan, err := BuildPlan(g, 3, 1, StrategyHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.ExtendTo(17)
+	if len(plan.Owner) != 17 {
+		t.Fatalf("owner array %d long", len(plan.Owner))
+	}
+	for v := 10; v < 17; v++ {
+		if plan.Owner[v] != int32(v%3) {
+			t.Fatalf("node %d assigned to %d, want %d", v, plan.Owner[v], v%3)
+		}
+	}
+	plan.ExtendTo(5) // never shrinks
+	if len(plan.Owner) != 17 {
+		t.Fatal("ExtendTo shrank the plan")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	g := generator.Synthetic(50, 1.2, 4, 3)
+	plan, err := BuildPlan(g, 4, 2, StrategyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != plan.K || got.Halo != plan.Halo || got.Strategy != plan.Strategy {
+		t.Fatalf("round trip changed header: %+v vs %+v", got, plan)
+	}
+	if len(got.Owner) != len(plan.Owner) {
+		t.Fatalf("round trip changed owner length")
+	}
+	for v := range plan.Owner {
+		if got.Owner[v] != plan.Owner[v] {
+			t.Fatalf("owner[%d] = %d after round trip, want %d", v, got.Owner[v], plan.Owner[v])
+		}
+	}
+}
+
+func TestPlanRejectsBadInput(t *testing.T) {
+	g := generator.Synthetic(10, 1.2, 3, 1)
+	if _, err := BuildPlan(g, 0, 1, StrategyBFS); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := BuildPlan(g, 2, 0, StrategyBFS); err == nil {
+		t.Fatal("halo=0 must be rejected")
+	}
+	if _, err := BuildPlan(g, 2, 1, "metis"); err == nil {
+		t.Fatal("unknown strategy must be rejected")
+	}
+	plan, _ := BuildPlan(g, 2, 1, StrategyBFS)
+	if err := plan.Validate(50); err == nil {
+		t.Fatal("plan covering fewer nodes than the graph must be rejected")
+	}
+	if err := (&Plan{K: 2, Halo: 1, Owner: []int32{0, 5}}).Validate(2); err == nil {
+		t.Fatal("out-of-range owner must be rejected")
+	}
+}

@@ -1,0 +1,1138 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/obs"
+)
+
+// Config configures a Router.
+type Config struct {
+	// Plan is the partition plan; it must cover the store's initial graph.
+	// The router owns it afterwards (ExtendTo runs on every update).
+	Plan *Plan
+	// Shards lists, per shard index, the base URLs of that shard's
+	// replicas, tried in order. len(Shards) must equal Plan.K and every
+	// shard needs at least one replica.
+	Shards [][]string
+	// ShardTimeout bounds each fan-out request to one replica (default 10s).
+	ShardTimeout time.Duration
+	// Retry is the per-replica retry policy of the fan-out clients; the
+	// zero value retries twice with the client defaults.
+	Retry client.RetryPolicy
+	// PushChunk caps the mutations per initial-push batch (default 25000).
+	PushChunk int
+	// ProbeInterval paces the health-probe loop started by StartProbes
+	// (default 5s).
+	ProbeInterval time.Duration
+	// HTTPClient, when set, underlies every fan-out client (tests inject
+	// httptest transports).
+	HTTPClient *http.Client
+	// API configures the embedded single-node server that answers every
+	// /v1 route the router does not intercept (graph and metrics
+	// introspection, the standing-query tree, debug routes, legacy
+	// aliases) against the router's authoritative store. Role is forced to
+	// RoleRouter. When EnableDebug is set the router's fan-out spans and
+	// the embedded /v1/debug/traces share one tracer.
+	API api.Config
+}
+
+// replica is one fan-out target: a member of one shard's replica set.
+type replica struct {
+	addr string
+	cl   *client.Client
+
+	mu      sync.Mutex
+	healthy bool // reachable per the last probe or request
+	stale   bool // version skew: missed or double-applied a batch; terminal
+	note    string
+}
+
+func (rep *replica) available() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.healthy && !rep.stale
+}
+
+func (rep *replica) setHealthy(ok bool, note string) {
+	rep.mu.Lock()
+	rep.healthy, rep.note = ok, note
+	rep.mu.Unlock()
+}
+
+// markStale ejects the replica permanently: its version diverged from the
+// router's vector, so its results can no longer be trusted. Recovery means
+// wiping and re-pushing the shard, which is an operator action.
+func (rep *replica) markStale(note string) {
+	rep.mu.Lock()
+	rep.stale, rep.note = true, note
+	rep.mu.Unlock()
+}
+
+// Router is the scatter/gather tier: an http.Handler serving the full /v1
+// protocol over a fleet of plain strongsimd shards. It owns the
+// authoritative global graph in a live.Store — updates apply there first
+// (which also maintains standing queries with exact single-node semantics)
+// and then fan out to the shards as diff batches — while /v1/match and
+// /v1/match/stream fan out to every shard and merge per-center results
+// byte-identically to a single-node server over the same graph.
+type Router struct {
+	store  *live.Store
+	plan   *Plan
+	cfg    Config
+	nodeID string
+	log    *slog.Logger
+	tracer *obs.Tracer
+	inner  http.Handler
+
+	shards  [][]*replica
+	metrics []*shardMetrics
+
+	// mu guards the routing state match requests snapshot: the ownership
+	// array, the per-shard member bitmaps, and the version vector.
+	mu      sync.RWMutex
+	owner   []int32
+	members [][]bool
+	want    []uint64
+
+	// upMu serializes updates (store apply + member recompute + fan-out)
+	// and the probe loop, so probes never read a shard mid-batch and
+	// conclude version skew.
+	upMu sync.Mutex
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+type shardMetrics struct {
+	latency   *obs.Histogram // fan-out request latency against this shard
+	failovers *obs.Counter   // replica attempts that failed and moved on
+	lost      *obs.Counter   // fan-outs where every replica failed
+}
+
+var (
+	routerPartials = obs.Default.Counter("router_partial_responses_total",
+		"degraded scatter/gather responses served with a partial marker")
+	routerUnavailable = obs.Default.Counter("router_unavailable_total",
+		"requests failed with shard_unavailable")
+)
+
+// NewRouter builds a router over an authoritative store and a shard fleet.
+// The shards are assumed empty; call Push before serving.
+func NewRouter(store *live.Store, cfg Config) (*Router, error) {
+	g := store.Current().Graph()
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("shard: router needs a plan")
+	}
+	if err := cfg.Plan.Validate(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	if len(cfg.Shards) != cfg.Plan.K {
+		return nil, fmt.Errorf("shard: plan has %d shards, config lists %d replica sets",
+			cfg.Plan.K, len(cfg.Shards))
+	}
+	if cfg.ShardTimeout <= 0 {
+		cfg.ShardTimeout = 10 * time.Second
+	}
+	if cfg.PushChunk == 0 {
+		cfg.PushChunk = 25000
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 5 * time.Second
+	}
+	if cfg.Retry.MaxAttempts < 2 {
+		cfg.Retry = client.RetryPolicy{MaxAttempts: 3}
+	}
+	r := &Router{
+		store:   store,
+		plan:    cfg.Plan,
+		cfg:     cfg,
+		nodeID:  cfg.API.NodeID,
+		log:     cfg.API.AccessLog,
+		owner:   cfg.Plan.Owner,
+		members: cfg.Plan.Members(g),
+		want:    make([]uint64, cfg.Plan.K),
+	}
+	if r.nodeID == "" {
+		var buf [4]byte
+		if _, err := rand.Read(buf[:]); err == nil {
+			r.nodeID = "router-" + hex.EncodeToString(buf[:])
+		} else {
+			r.nodeID = "router-unidentified"
+		}
+	}
+	for s, addrs := range cfg.Shards {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("shard: shard %d has no replicas", s)
+		}
+		reps := make([]*replica, 0, len(addrs))
+		for _, addr := range addrs {
+			opts := []client.Option{client.WithRetryPolicy(cfg.Retry)}
+			if cfg.HTTPClient != nil {
+				opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+			}
+			reps = append(reps, &replica{addr: addr, cl: client.New(addr, opts...), healthy: true})
+		}
+		r.shards = append(r.shards, reps)
+		si := strconv.Itoa(s)
+		r.metrics = append(r.metrics, &shardMetrics{
+			latency: obs.Default.Histogram("router_shard_seconds",
+				"fan-out request latency by shard", obs.DefBuckets(), "shard", si),
+			failovers: obs.Default.Counter("router_shard_failovers_total",
+				"replica attempts that failed and fell over to the next replica", "shard", si),
+			lost: obs.Default.Counter("router_shard_lost_total",
+				"fan-outs for which every replica of the shard failed", "shard", si),
+		})
+	}
+	innerCfg := cfg.API
+	innerCfg.Role = api.RoleRouter
+	innerCfg.NodeID = r.nodeID
+	if innerCfg.EnableDebug {
+		r.tracer = innerCfg.Tracer
+		if r.tracer == nil {
+			r.tracer = obs.NewTracer(obs.TraceConfig{
+				SampleRate:    innerCfg.TraceSampleRate,
+				SlowThreshold: innerCfg.SlowQueryThreshold,
+				Log:           innerCfg.AccessLog,
+			})
+			innerCfg.Tracer = r.tracer
+		}
+	}
+	r.inner = api.NewLiveServer(store, innerCfg)
+	return r, nil
+}
+
+// Plan returns the router's (live) partition plan.
+func (r *Router) Plan() *Plan { return r.plan }
+
+// Store returns the router's authoritative store.
+func (r *Router) Store() *live.Store { return r.store }
+
+// Push brings every (empty) shard replica to its halo-extended subgraph of
+// the store's current graph. It fails fast on a replica that is
+// unreachable, not empty, or rejects a batch — a half-pushed fleet must not
+// serve.
+func (r *Router) Push(ctx context.Context) error {
+	g := r.store.Current().Graph()
+	r.mu.RLock()
+	members := r.members
+	r.mu.RUnlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.shards))
+	for s, reps := range r.shards {
+		batches := InitialBatches(g, members[s], r.cfg.PushChunk)
+		r.mu.Lock()
+		r.want[s] = uint64(len(batches))
+		r.mu.Unlock()
+		for _, rep := range reps {
+			wg.Add(1)
+			go func(s int, rep *replica, batches [][]api.MutationJSON) {
+				defer wg.Done()
+				if err := r.pushReplica(ctx, rep, batches); err != nil {
+					errs[s] = fmt.Errorf("shard %d replica %s: %w", s, rep.addr, err)
+				}
+			}(s, rep, batches)
+		}
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (r *Router) pushReplica(ctx context.Context, rep *replica, batches [][]api.MutationJSON) error {
+	hctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+	h, err := rep.cl.Healthz(hctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("probing: %w", err)
+	}
+	if h.Nodes != 0 || h.Version != 0 {
+		return fmt.Errorf("not empty (%d nodes at version %d); shards must start fresh", h.Nodes, h.Version)
+	}
+	for i, batch := range batches {
+		bctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		res, err := rep.cl.Update(bctx, batch...)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("push batch %d/%d: %w", i+1, len(batches), err)
+		}
+		if res.Version != uint64(i+1) {
+			return fmt.Errorf("push batch %d/%d: replica at version %d, want %d",
+				i+1, len(batches), res.Version, i+1)
+		}
+	}
+	return nil
+}
+
+// StartProbes runs the periodic health-probe loop until Close (or ctx
+// cancellation): every replica is probed over /v1/healthz, unreachable
+// replicas are ejected from fan-outs until a later probe readmits them, and
+// replicas whose reported version diverges from the router's version vector
+// are ejected permanently as stale.
+func (r *Router) StartProbes(ctx context.Context) {
+	r.probeStop = make(chan struct{})
+	r.probeDone = make(chan struct{})
+	go func() {
+		defer close(r.probeDone)
+		t := time.NewTicker(r.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-r.probeStop:
+				return
+			case <-t.C:
+				r.probeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop (if started).
+func (r *Router) Close() {
+	if r.probeStop != nil {
+		close(r.probeStop)
+		<-r.probeDone
+		r.probeStop = nil
+	}
+}
+
+// probeOnce probes every replica once. It serializes against updates so a
+// shard is never read between the router's version bump and the batch
+// landing.
+func (r *Router) probeOnce(ctx context.Context) {
+	r.upMu.Lock()
+	defer r.upMu.Unlock()
+	r.mu.RLock()
+	want := append([]uint64(nil), r.want...)
+	r.mu.RUnlock()
+	var wg sync.WaitGroup
+	for s, reps := range r.shards {
+		for _, rep := range reps {
+			wg.Add(1)
+			go func(s int, rep *replica) {
+				defer wg.Done()
+				pctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+				defer cancel()
+				h, err := rep.cl.Healthz(pctx)
+				switch {
+				case err != nil:
+					rep.setHealthy(false, err.Error())
+				case h.Version != want[s]:
+					rep.markStale(fmt.Sprintf("version %d, router expects %d", h.Version, want[s]))
+				default:
+					rep.setHealthy(true, "")
+				}
+			}(s, rep)
+		}
+	}
+	wg.Wait()
+}
+
+// Handler returns the router's route tree: the fan-out endpoints
+// (/v1/match, /v1/match/stream), the update/routing endpoint (/v1/update)
+// and the fleet health summary (/v1/healthz) are served by the router
+// itself; every other route falls through to the embedded single-node
+// server over the authoritative store, which answers with ordinary
+// single-node semantics (the router holds the whole graph).
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+path, r.wrap(method, path, h))
+	}
+	route("POST", api.Prefix+"/match", r.handleMatch)
+	route("POST", api.Prefix+"/match/stream", r.handleMatchStream)
+	route("POST", api.Prefix+"/update", r.handleUpdate)
+	route("GET", api.Prefix+"/healthz", r.handleHealth)
+	mux.Handle("/", r.inner)
+	return mux
+}
+
+// routeState carries per-request observability through the router's own
+// handlers (the inner server has its own equivalent).
+type routeState struct {
+	id   string
+	root obs.Span
+}
+
+type routeStateKey struct{}
+
+func routerState(ctx context.Context) *routeState {
+	st, _ := ctx.Value(routeStateKey{}).(*routeState)
+	if st == nil {
+		return &routeState{}
+	}
+	return st
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the router-side serving middleware: request id, per-route
+// metrics under the same series the single-node server uses, one root span
+// per request (adopting a valid incoming traceparent) whose children are
+// the fan-out calls, panic recovery, and the structured access log.
+func (r *Router) wrap(method, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := obs.Default.Counter("http_requests_total",
+		"requests served by endpoint, method and status class",
+		"code", "2xx", "endpoint", endpoint, "method", method)
+	errs := obs.Default.Counter("http_requests_total",
+		"requests served by endpoint, method and status class",
+		"code", "4xx", "endpoint", endpoint, "method", method)
+	fails := obs.Default.Counter("http_requests_total",
+		"requests served by endpoint, method and status class",
+		"code", "5xx", "endpoint", endpoint, "method", method)
+	latency := obs.Default.Histogram("http_request_seconds",
+		"request latency by endpoint", obs.DefBuckets(),
+		"endpoint", endpoint, "method", method)
+	spanName := method + " " + endpoint
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		st := &routeState{id: requestID(req)}
+		w.Header().Set(api.RequestIDHeader, st.id)
+		if r.tracer != nil {
+			parent, _ := obs.ParseTraceparent(req.Header.Get(obs.TraceparentHeader))
+			_, st.root = r.tracer.Start(spanName, st.id, parent)
+			w.Header().Set(obs.TraceparentHeader, st.root.Context().String())
+		}
+		ww := &statusWriter{ResponseWriter: w}
+		req = req.WithContext(context.WithValue(req.Context(), routeStateKey{}, st))
+		defer func() {
+			if p := recover(); p != nil {
+				if ww.status == 0 {
+					writeError(ww, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+						"internal error (request %s)", st.id))
+				}
+				if r.log != nil {
+					r.log.LogAttrs(context.Background(), slog.LevelError, "panic",
+						slog.String("request_id", st.id),
+						slog.String("path", req.URL.Path),
+						slog.Any("panic", p),
+						slog.String("stack", string(debug.Stack())))
+				}
+			}
+			if ww.status == 0 {
+				ww.status = http.StatusOK
+			}
+			d := time.Since(start)
+			latency.Observe(d.Seconds())
+			switch {
+			case ww.status >= 500:
+				fails.Inc()
+			case ww.status >= 400:
+				errs.Inc()
+			default:
+				reqs.Inc()
+			}
+			if r.log != nil {
+				r.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("method", req.Method),
+					slog.String("path", req.URL.Path),
+					slog.Int("status", ww.status),
+					slog.Float64("dur_ms", float64(d.Microseconds())/1000),
+					slog.String("request_id", st.id))
+			}
+			if st.root.Recording() {
+				status := ""
+				if ww.status >= 400 {
+					status = "error"
+				}
+				st.root.EndStatus(status,
+					obs.Attr{Key: "http_status", Value: int64(ww.status)})
+			}
+		}()
+		h(ww, req)
+	}
+}
+
+// requestID mirrors the single-node sanitation: a usable client-supplied
+// X-Request-Id is kept, anything else replaced.
+func requestID(r *http.Request) string {
+	id := r.Header.Get(api.RequestIDHeader)
+	if id != "" && len(id) <= 64 {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			if id[i] <= ' ' || id[i] > '~' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "unidentified"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.Status, e)
+}
+
+func (r *Router) decode(w http.ResponseWriter, req *http.Request, dst any, strict bool) *api.Error {
+	maxBody := r.cfg.API.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 8 << 20
+	}
+	body := http.MaxBytesReader(w, req.Body, maxBody)
+	dec := json.NewDecoder(body)
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return api.Errorf(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
+		return api.Errorf(http.StatusBadRequest, api.CodeInvalidRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+// timeout resolves the whole fan-out's deadline from the request, mirroring
+// the single-node clamp.
+func (r *Router) timeout(ms int) time.Duration {
+	d := r.cfg.API.DefaultTimeout
+	if d <= 0 {
+		d = 10 * time.Second
+	}
+	max := r.cfg.API.MaxTimeout
+	if max <= 0 {
+		max = time.Minute
+	}
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// resolvePattern mirrors the single-node pattern resolution against the
+// router's authoritative engine, so invalid patterns fail identically here
+// and never fan out.
+func (r *Router) resolvePattern(req *api.MatchRequest) (*graph.Graph, *api.Error) {
+	e := r.store.Engine()
+	switch {
+	case req.Pattern != nil && req.PatternText != "":
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalidRequest,
+			`"pattern" and "pattern_text" are mutually exclusive`)
+	case req.Pattern != nil:
+		q, err := req.Pattern.ToGraph(e.Snapshot().Graph().Labels().Clone())
+		if err != nil {
+			code := api.CodeInvalidPattern
+			if errors.Is(err, api.ErrBoundedEdge) {
+				code = api.CodeUnsupportedBound
+			}
+			return nil, api.Errorf(http.StatusBadRequest, code, "invalid pattern: %v", err)
+		}
+		return q, nil
+	case req.PatternText != "":
+		q, err := e.Snapshot().ParsePattern(req.PatternText)
+		if err != nil {
+			return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalidPattern, "parsing pattern: %v", err)
+		}
+		return q, nil
+	default:
+		return nil, api.Errorf(http.StatusBadRequest, api.CodeInvalidRequest, "missing pattern")
+	}
+}
+
+// checkQuery validates a match request end to end at the router: pattern,
+// spec, connectivity and — the one router-specific constraint — that the
+// effective ball radius fits inside the halo. It returns the effective
+// radius for diagnostics.
+func (r *Router) checkQuery(req *api.MatchRequest) (int, *api.Error) {
+	q, aerr := r.resolvePattern(req)
+	if aerr != nil {
+		return 0, aerr
+	}
+	if _, _, err := req.Query.Compile(); err != nil {
+		return 0, api.Errorf(http.StatusBadRequest, api.CodeInvalidQuery, "%v", err)
+	}
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		return 0, api.Errorf(http.StatusBadRequest, api.CodeInvalidPattern,
+			"pattern graph must be connected (Section 2.1)")
+	}
+	eff := req.Query.Radius
+	if eff == 0 {
+		eff = dq
+	}
+	if eff > r.plan.Halo {
+		return 0, api.Errorf(http.StatusBadRequest, api.CodeHaloExceeded,
+			"effective ball radius %d exceeds the halo replication depth %d: "+
+				"lower the radius or redeploy with a deeper halo", eff, r.plan.Halo)
+	}
+	return eff, nil
+}
+
+// shardRequest strips a match request down to what shards evaluate: the
+// pattern, mode and radius. Ranking, limits and statistics are router-side
+// concerns — a shard cannot cut to a global top-k or limit without seeing
+// the other shards' results.
+func shardRequest(req *api.MatchRequest) api.MatchRequest {
+	return api.MatchRequest{
+		Pattern:     req.Pattern,
+		PatternText: req.PatternText,
+		Query:       api.QuerySpec{Mode: req.Query.Mode, Radius: req.Query.Radius},
+	}
+}
+
+// callShard runs one fan-out call against shard s, trying replicas in
+// order: a transport failure or 5xx (already retried by the client policy)
+// marks the replica unreachable and falls over to the next; a 4xx is a
+// request-level verdict every replica would repeat and is returned
+// immediately. The error is nil on success, the 4xx *api.Error, or a
+// shard-unavailable sentinel when every replica failed.
+func (r *Router) callShard(ctx context.Context, s int, kind string, root obs.Span,
+	do func(ctx context.Context, cl *client.Client) error) error {
+	var lastErr error
+	tried := 0
+	for ri, rep := range r.shards[s] {
+		if !rep.available() {
+			continue
+		}
+		if tried > 0 {
+			r.metrics[s].failovers.Inc()
+		}
+		tried++
+		sp := root.StartChild("shard." + kind)
+		cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+		if sp.Recording() {
+			cctx = client.WithTraceContext(cctx, sp.Context().String())
+		}
+		start := time.Now()
+		err := do(cctx, rep.cl)
+		cancel()
+		r.metrics[s].latency.Observe(time.Since(start).Seconds())
+		if err == nil {
+			if sp.Recording() {
+				sp.End(obs.Attr{Key: "shard", Value: int64(s)},
+					obs.Attr{Key: "replica", Value: int64(ri)})
+			}
+			return nil
+		}
+		if sp.Recording() {
+			sp.EndStatus("error", obs.Attr{Key: "shard", Value: int64(s)},
+				obs.Attr{Key: "replica", Value: int64(ri)})
+		}
+		var aerr *api.Error
+		if errors.As(err, &aerr) && aerr.Status >= 400 && aerr.Status < 500 {
+			return err // the request is wrong, not the replica
+		}
+		rep.setHealthy(false, err.Error())
+		lastErr = err
+	}
+	r.metrics[s].lost.Inc()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no replica available")
+	}
+	return fmt.Errorf("shard %d unavailable: %w", s, lastErr)
+}
+
+// toPerfect converts a wire subgraph back to the engine's form so the
+// router can reuse the engine's dedup, ordering and ranking primitives.
+func toPerfect(sj *api.SubgraphJSON) *core.PerfectSubgraph {
+	rel := make(map[int32][]int32, len(sj.Rel))
+	for k, v := range sj.Rel {
+		u, err := strconv.Atoi(k)
+		if err != nil {
+			continue // a shard never emits non-numeric keys
+		}
+		rel[int32(u)] = v
+	}
+	return &core.PerfectSubgraph{Center: sj.Center, Nodes: sj.Nodes, Edges: sj.Edges, Rel: rel}
+}
+
+// fanoutResult is one shard's verdict in a match fan-out.
+type fanoutResult struct {
+	resp *api.MatchResponse
+	err  error
+}
+
+// partialOrFail resolves a fan-out with failed shards: a PartialJSON marker
+// when the request allows degraded results, the structured
+// shard_unavailable error otherwise. Never a silently incomplete response.
+func (r *Router) partialOrFail(req *api.MatchRequest, owner []int32, failed []int) (*api.PartialJSON, *api.Error) {
+	if len(failed) == 0 {
+		return nil, nil
+	}
+	if !req.Query.AllowPartial {
+		routerUnavailable.Inc()
+		return nil, api.Errorf(http.StatusBadGateway, api.CodeShardUnavailable,
+			"shards %v unavailable; retry, or set query.allow_partial for degraded results", failed)
+	}
+	missing := 0
+	failedSet := make(map[int]bool, len(failed))
+	for _, s := range failed {
+		failedSet[s] = true
+	}
+	for _, s := range owner {
+		if failedSet[int(s)] {
+			missing++
+		}
+	}
+	routerPartials.Inc()
+	return &api.PartialJSON{FailedShards: failed, MissingNodes: missing}, nil
+}
+
+func (r *Router) handleMatch(w http.ResponseWriter, req *http.Request) {
+	var mreq api.MatchRequest
+	if aerr := r.decode(w, req, &mreq, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if _, aerr := r.checkQuery(&mreq); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	st := routerState(req.Context())
+	ctx, cancel := context.WithTimeout(req.Context(), r.timeout(mreq.Query.DeadlineMS))
+	defer cancel()
+
+	start := time.Now()
+	sreq := shardRequest(&mreq)
+	results := make([]fanoutResult, len(r.shards))
+	var wg sync.WaitGroup
+	for s := range r.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s].err = r.callShard(ctx, s, "match", st.root,
+				func(cctx context.Context, cl *client.Client) error {
+					resp, err := cl.Match(cctx, sreq)
+					if err == nil {
+						results[s].resp = resp
+					}
+					return err
+				})
+		}(s)
+	}
+	wg.Wait()
+
+	r.mu.RLock()
+	owner := r.owner
+	r.mu.RUnlock()
+
+	var failed []int
+	for s, res := range results {
+		if res.err == nil {
+			continue
+		}
+		var aerr *api.Error
+		if errors.As(res.err, &aerr) && aerr.Status >= 400 && aerr.Status < 500 {
+			writeError(w, aerr) // a request-level rejection; every shard agrees
+			return
+		}
+		failed = append(failed, s)
+	}
+	partial, aerr := r.partialOrFail(&mreq, owner, failed)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+
+	subs, stats := mergeOwned(results, owner)
+	resp := api.MatchResponse{Stats: api.FromStats(stats), Partial: partial}
+	if mreq.Query.TopK > 0 {
+		_, metric, _ := mreq.Query.Compile() // validated in checkQuery
+		q, _ := r.resolvePattern(&mreq)
+		merged := &core.Result{Subgraphs: subs}
+		ranked := merged.TopK(q, r.store.Current().Graph(), mreq.Query.TopK, metric)
+		resp.Matches = make([]api.SubgraphJSON, 0, len(ranked))
+		for _, rk := range ranked {
+			sj := api.FromSubgraph(rk.PerfectSubgraph)
+			score := rk.Score
+			sj.Score = &score
+			resp.Matches = append(resp.Matches, sj)
+		}
+	} else {
+		if mreq.Query.Limit > 0 && len(subs) > mreq.Query.Limit {
+			subs = subs[:mreq.Query.Limit]
+			core.SortSubgraphs(subs)
+		}
+		resp.Matches = api.FromSubgraphs(subs)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// mergeOwned implements the scatter/gather merge rule: keep from shard s
+// exactly the subgraphs whose center s owns (each center is reported once,
+// by the shard whose ball for it equals the global ball), admit them in
+// ascending center order through the engine's deduper (so cross-center
+// duplicate subgraphs collapse onto the smallest producing center, exactly
+// as a single node admits them), and order canonically. Shard statistics
+// are summed — they count halo-center work a single node would not do — and
+// router-side duplicate discards are added on top.
+func mergeOwned(results []fanoutResult, owner []int32) ([]*core.PerfectSubgraph, core.Stats) {
+	var stats core.Stats
+	var owned []*core.PerfectSubgraph
+	for s, res := range results {
+		if res.resp == nil {
+			continue
+		}
+		stats.BallsExamined += res.resp.Stats.BallsExamined
+		stats.BallsSkipped += res.resp.Stats.BallsSkipped
+		stats.PairsRemoved += res.resp.Stats.PairsRemoved
+		stats.Duplicates += res.resp.Stats.Duplicates
+		if res.resp.Stats.MinimizedFrom > stats.MinimizedFrom {
+			stats.MinimizedFrom = res.resp.Stats.MinimizedFrom
+		}
+		for i := range res.resp.Matches {
+			sj := &res.resp.Matches[i]
+			if int(sj.Center) >= len(owner) || int(owner[sj.Center]) != s {
+				continue
+			}
+			owned = append(owned, toPerfect(sj))
+		}
+	}
+	sort.Slice(owned, func(i, j int) bool { return owned[i].Center < owned[j].Center })
+	dedup := core.NewDeduper()
+	subs := owned[:0]
+	for _, ps := range owned {
+		if dedup.Admit(ps, &stats) {
+			subs = append(subs, ps)
+		}
+	}
+	core.SortSubgraphs(subs)
+	return subs, stats
+}
+
+// handleMatchStream serves the NDJSON framing of the merged fan-out
+// result. Unlike a single node — which streams matches as workers finish
+// balls, deduping first-wins — the router must gather complete per-shard
+// result sets before it can apply the ownership merge: shard-side streams
+// dedup in arrival order, so an owned center can lose its subgraph to a
+// halo center on its own shard and the result would be silently dropped.
+// Buffered fan-out keeps the stream byte-equal (as a set) to /v1/match,
+// and lets total shard failure surface as a clean pre-commit 502.
+func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
+	var mreq api.MatchRequest
+	if aerr := r.decode(w, req, &mreq, false); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	if mreq.Query.TopK != 0 {
+		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeInvalidQuery,
+			"top_k is not supported on %s/match/stream: ranking needs the full result set", api.Prefix))
+		return
+	}
+	if _, aerr := r.checkQuery(&mreq); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	st := routerState(req.Context())
+	ctx, cancel := context.WithTimeout(req.Context(), r.timeout(mreq.Query.DeadlineMS))
+	defer cancel()
+
+	start := time.Now()
+	sreq := shardRequest(&mreq)
+	results := make([]fanoutResult, len(r.shards))
+	var wg sync.WaitGroup
+	for s := range r.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s].err = r.callShard(ctx, s, "stream", st.root,
+				func(cctx context.Context, cl *client.Client) error {
+					resp, err := cl.Match(cctx, sreq)
+					if err == nil {
+						results[s].resp = resp
+					}
+					return err
+				})
+		}(s)
+	}
+	wg.Wait()
+
+	r.mu.RLock()
+	owner := r.owner
+	r.mu.RUnlock()
+
+	var failed []int
+	for s, res := range results {
+		if res.err == nil {
+			continue
+		}
+		var aerr *api.Error
+		if errors.As(res.err, &aerr) && aerr.Status >= 400 && aerr.Status < 500 {
+			writeError(w, aerr)
+			return
+		}
+		failed = append(failed, s)
+	}
+	partial, aerr := r.partialOrFail(&mreq, owner, failed)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+
+	subs, stats := mergeOwned(results, owner)
+	if mreq.Query.Limit > 0 && len(subs) > mreq.Query.Limit {
+		subs = subs[:mreq.Query.Limit]
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for _, ps := range subs {
+		sj := api.FromSubgraph(ps)
+		if err := enc.Encode(api.StreamEventJSON{Match: &sj}); err != nil {
+			return // client went away; no trailer to deliver
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_ = enc.Encode(api.StreamEventJSON{Done: &api.StreamDoneJSON{
+		Matches:   len(subs),
+		Stats:     api.FromStats(stats),
+		Partial:   partial,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// toMutation mirrors the single-node wire validation (api keeps its version
+// unexported; the rule is small and must not drift: every destructive op
+// names its target explicitly).
+func toMutation(m api.MutationJSON, i int) (live.Mutation, error) {
+	out := live.Mutation{Op: live.Op(m.Op)}
+	switch out.Op {
+	case live.OpAddNode:
+		if m.Label == nil {
+			return out, fmt.Errorf("updates[%d]: add_node requires \"label\"", i)
+		}
+		out.Label = *m.Label
+	case live.OpInsertEdge, live.OpDeleteEdge:
+		if m.U == nil || m.V == nil {
+			return out, fmt.Errorf("updates[%d]: %s requires \"u\" and \"v\"", i, m.Op)
+		}
+		out.U, out.V = *m.U, *m.V
+	case live.OpDeleteNode:
+		if m.Node == nil {
+			return out, fmt.Errorf("updates[%d]: delete_node requires \"node\"", i)
+		}
+		out.Node = *m.Node
+	case live.OpSetLabel:
+		if m.Node == nil || m.Label == nil {
+			return out, fmt.Errorf("updates[%d]: set_label requires \"node\" and \"label\"", i)
+		}
+		out.Node, out.Label = *m.Node, *m.Label
+	default:
+		return out, fmt.Errorf("updates[%d]: unknown op %q", i, m.Op)
+	}
+	return out, nil
+}
+
+func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	var ureq api.UpdateRequest
+	if aerr := r.decode(w, req, &ureq, true); aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	muts := make([]live.Mutation, 0, len(ureq.Updates))
+	for i, mw := range ureq.Updates {
+		m, err := toMutation(mw, i)
+		if err != nil {
+			writeError(w, api.Errorf(http.StatusBadRequest, api.CodeInvalidMutation, "%v", err))
+			return
+		}
+		muts = append(muts, m)
+	}
+	st := routerState(req.Context())
+	start := time.Now()
+
+	// One update at a time end to end: apply to the authoritative store
+	// (which brings every standing query current, exactly as a single
+	// node), recompute the halo member sets, then fan the per-shard diffs
+	// out. Shards of a healthy fleet advance in lockstep with the router's
+	// version vector.
+	r.upMu.Lock()
+	defer r.upMu.Unlock()
+
+	oldG := r.store.Current().Graph()
+	res, err := r.store.ApplyTraced(muts, st.root)
+	if err != nil {
+		writeError(w, api.Errorf(http.StatusBadRequest, api.CodeInvalidMutation, "%v", err))
+		return
+	}
+	newG := r.store.Current().Graph()
+	r.plan.ExtendTo(newG.NumNodes())
+	newMembers := r.plan.Members(newG)
+
+	r.mu.Lock()
+	oldMembers := r.members
+	r.members = newMembers
+	r.owner = r.plan.Owner
+	r.mu.Unlock()
+
+	ctx := req.Context()
+	versions := make(map[int]uint64, len(r.shards))
+	var wg sync.WaitGroup
+	for s := range r.shards {
+		batch := DiffBatch(oldG, newG, oldMembers[s], newMembers[s])
+		if len(batch) == 0 {
+			r.mu.RLock()
+			versions[s] = r.want[s]
+			r.mu.RUnlock()
+			continue // the batch did not touch this shard's subgraph
+		}
+		r.mu.Lock()
+		r.want[s]++
+		want := r.want[s]
+		r.mu.Unlock()
+		versions[s] = want
+		// Every replica must apply the batch; one that cannot is stale for
+		// good (it can no longer serve consistent results) and the probe
+		// loop will not readmit it.
+		for ri, rep := range r.shards[s] {
+			if !rep.available() {
+				rep.markStale("missed an update batch while unavailable")
+				continue
+			}
+			wg.Add(1)
+			go func(s, ri int, rep *replica, batch []api.MutationJSON, want uint64) {
+				defer wg.Done()
+				sp := st.root.StartChild("shard.update")
+				cctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
+				defer cancel()
+				if sp.Recording() {
+					cctx = client.WithTraceContext(cctx, sp.Context().String())
+				}
+				ures, err := rep.cl.Update(cctx, batch...)
+				switch {
+				case err != nil:
+					rep.markStale(fmt.Sprintf("update batch failed: %v", err))
+				case ures.Version != want:
+					rep.markStale(fmt.Sprintf("version %d after batch, router expects %d", ures.Version, want))
+				}
+				if sp.Recording() {
+					status := ""
+					if err != nil {
+						status = "error"
+					}
+					sp.EndStatus(status,
+						obs.Attr{Key: "shard", Value: int64(s)},
+						obs.Attr{Key: "replica", Value: int64(ri)},
+						obs.Attr{Key: "mutations", Value: int64(len(batch))})
+				}
+			}(s, ri, rep, batch, want)
+		}
+	}
+	wg.Wait()
+
+	writeJSON(w, http.StatusOK, api.UpdateResponse{
+		Version:       res.Version,
+		Nodes:         res.Nodes,
+		Edges:         res.Edges,
+		AddedNodes:    res.AddedNodes,
+		Recomputed:    res.Recomputed,
+		ShardVersions: versions,
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	ver := r.store.Current()
+	g := ver.Graph()
+	h := api.HealthJSON{
+		Status:        "ok",
+		NodeID:        r.nodeID,
+		Role:          api.RoleRouter,
+		Version:       ver.ID(),
+		Nodes:         g.NumNodes(),
+		Edges:         g.NumEdges(),
+		Labels:        g.Labels().Len(),
+		Queries:       r.store.NumQueries(),
+		UptimeSeconds: obs.Uptime().Seconds(),
+		GoVersion:     runtime.Version(),
+		ModuleVersion: moduleVersion(),
+		Workers:       r.store.Engine().Workers(),
+	}
+	r.mu.RLock()
+	want := append([]uint64(nil), r.want...)
+	r.mu.RUnlock()
+	for s, reps := range r.shards {
+		serving := 0
+		for _, rep := range reps {
+			if rep.available() {
+				serving++
+			}
+		}
+		if serving == 0 {
+			h.Status = "degraded"
+		}
+		h.Shards = append(h.Shards, api.ShardHealthJSON{
+			Shard:    s,
+			Replicas: len(reps),
+			Serving:  serving,
+			Version:  want[s],
+		})
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func moduleVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.Main.Version
+	}
+	return ""
+}

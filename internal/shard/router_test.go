@@ -1,0 +1,454 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/live"
+)
+
+// fleet is a router deployment under test: N in-process shard servers, the
+// router in front, and a single-node reference server over the same graph.
+type fleet struct {
+	router  *Router
+	rc      *client.Client // against the router
+	sc      *client.Client // against the single-node reference
+	shardTS [][]*httptest.Server
+}
+
+func testRetry() client.RetryPolicy {
+	return client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+// newShard starts one empty in-process shard server.
+func newShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := graph.ParseString("", graph.NewLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.NewLiveServer(live.NewStore(g, live.Config{Workers: 2}),
+		api.Config{Role: api.RoleShard}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newFleet deploys k shards (replicas[s] servers each; default 1) plus the
+// router and the reference server, both over identical copies of g built by
+// build (called twice so no state is shared).
+func newFleet(t *testing.T, build func() *graph.Graph, k, halo int, replicas map[int]int) *fleet {
+	t.Helper()
+	g := build()
+	plan, err := BuildPlan(g, k, halo, StrategyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fleet{shardTS: make([][]*httptest.Server, k)}
+	shards := make([][]string, k)
+	for s := 0; s < k; s++ {
+		n := replicas[s]
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			ts := newShard(t)
+			f.shardTS[s] = append(f.shardTS[s], ts)
+			shards[s] = append(shards[s], ts.URL)
+		}
+	}
+	rt, err := NewRouter(live.NewStore(g, live.Config{Workers: 2}), Config{
+		Plan:          plan,
+		Shards:        shards,
+		ShardTimeout:  5 * time.Second,
+		Retry:         testRetry(),
+		ProbeInterval: time.Hour, // probes run only when tests call probeOnce
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Push(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	f.router = rt
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	f.rc = client.New(rts.URL)
+
+	single := httptest.NewServer(api.NewLiveServer(live.NewStore(build(), live.Config{Workers: 2}),
+		api.Config{}))
+	t.Cleanup(single.Close)
+	f.sc = client.New(single.URL)
+	return f
+}
+
+func testPatterns(g *graph.Graph) []string {
+	var pats []string
+	for i := 0; i < 6; i++ {
+		q := generator.SamplePattern(g, generator.PatternOptions{
+			Nodes: 2 + i%2, Alpha: 1.1, Seed: int64(100 + i*131),
+		})
+		pats = append(pats, graph.FormatString(q))
+	}
+	return pats
+}
+
+func matchesJSON(t *testing.T, ms []api.SubgraphJSON) string {
+	t.Helper()
+	b, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// assertIdentical fans the same request to router and reference and
+// requires byte-identical serialized match lists.
+func (f *fleet) assertIdentical(t *testing.T, pat string, spec api.QuerySpec, label string) int {
+	t.Helper()
+	ctx := context.Background()
+	got, err := f.rc.MatchText(ctx, pat, spec)
+	if err != nil {
+		t.Fatalf("%s: router match: %v", label, err)
+	}
+	want, err := f.sc.MatchText(ctx, pat, spec)
+	if err != nil {
+		t.Fatalf("%s: single-node match: %v", label, err)
+	}
+	if got.Partial != nil {
+		t.Fatalf("%s: healthy fleet answered partial: %+v", label, got.Partial)
+	}
+	gj, wj := matchesJSON(t, got.Matches), matchesJSON(t, want.Matches)
+	if gj != wj {
+		t.Fatalf("%s: router diverges from single node\nrouter: %s\nsingle: %s", label, gj, wj)
+	}
+	return len(want.Matches)
+}
+
+// assertSameRanking checks a top-k response modulo the representative
+// center: same length, same score sequence, same ranked node sets.
+func (f *fleet) assertSameRanking(t *testing.T, pat string, k int, label string) {
+	t.Helper()
+	ctx := context.Background()
+	spec := api.QuerySpec{Mode: api.ModePlus, TopK: k}
+	got, err := f.rc.MatchText(ctx, pat, spec)
+	if err != nil {
+		t.Fatalf("%s: router: %v", label, err)
+	}
+	want, err := f.sc.MatchText(ctx, pat, spec)
+	if err != nil {
+		t.Fatalf("%s: single node: %v", label, err)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("%s: router ranked %d, single node %d", label, len(got.Matches), len(want.Matches))
+	}
+	for i := range want.Matches {
+		gm, wm := &got.Matches[i], &want.Matches[i]
+		if gm.Score == nil || wm.Score == nil || *gm.Score != *wm.Score {
+			t.Fatalf("%s: rank %d scores diverge: %v vs %v", label, i, gm.Score, wm.Score)
+		}
+		gn, _ := json.Marshal(gm.Nodes)
+		wn, _ := json.Marshal(wm.Nodes)
+		if string(gn) != string(wn) {
+			t.Fatalf("%s: rank %d node sets diverge: %s vs %s", label, i, gn, wn)
+		}
+	}
+}
+
+func buildSynthetic(n int, seed int64) func() *graph.Graph {
+	return func() *graph.Graph { return generator.Synthetic(n, 1.2, 5, seed) }
+}
+
+func TestRouterByteIdenticalMatches(t *testing.T) {
+	f := newFleet(t, buildSynthetic(80, 11), 3, 2, nil)
+	g := generator.Synthetic(80, 1.2, 5, 11)
+	total := 0
+	for i, pat := range testPatterns(g) {
+		for _, mode := range []string{api.ModePlain, api.ModePlus} {
+			total += f.assertIdentical(t, pat, api.QuerySpec{Mode: mode},
+				mode+" pattern "+pat)
+			// Explicit radius 1 stays within the halo and must agree too.
+			f.assertIdentical(t, pat, api.QuerySpec{Mode: mode, Radius: 1},
+				mode+" r=1 pattern "+pat)
+		}
+		// Ranked top-k: the single node's top-k path dedups first-wins in
+		// worker order, so the representative center of a duplicated
+		// subgraph is not deterministic even between two single-node runs.
+		// Compare scores and node sets, not bytes.
+		f.assertSameRanking(t, pat, 3, "topk pattern "+pat)
+		_ = i
+	}
+	if total == 0 {
+		t.Fatal("sampled patterns never matched; the identity check was vacuous")
+	}
+}
+
+func TestRouterMatchesAfterUpdates(t *testing.T) {
+	f := newFleet(t, buildSynthetic(60, 7), 3, 2, nil)
+	g := generator.Synthetic(60, 1.2, 5, 7)
+	pats := testPatterns(g)
+	ctx := context.Background()
+
+	batches := [][]api.MutationJSON{
+		// Edge churn across likely shard boundaries.
+		{api.InsertEdge(0, 59), api.InsertEdge(59, 30), api.DeleteEdge(0, 59)},
+		// New nodes, wired in.
+		{api.AddNode("l0"), api.AddNode("l1"), api.InsertEdge(60, 61), api.InsertEdge(5, 60)},
+		// Relabels: membership stays, label semantics change.
+		{api.SetLabel(10, "l0"), api.SetLabel(11, "l4")},
+		// Deletion: a node dies globally, halos shrink.
+		{api.DeleteNode(30)},
+	}
+
+	for bi, batch := range batches {
+		rres, err := f.rc.Update(ctx, batch...)
+		if err != nil {
+			t.Fatalf("batch %d via router: %v", bi, err)
+		}
+		if _, err := f.sc.Update(ctx, batch...); err != nil {
+			t.Fatalf("batch %d via single node: %v", bi, err)
+		}
+		if rres.Version != uint64(bi+1) {
+			t.Fatalf("router at version %d after %d batches", rres.Version, bi+1)
+		}
+		if len(rres.ShardVersions) != 3 {
+			t.Fatalf("router reported shard versions for %d shards", len(rres.ShardVersions))
+		}
+		for _, pat := range pats {
+			for _, mode := range []string{api.ModePlain, api.ModePlus} {
+				f.assertIdentical(t, pat, api.QuerySpec{Mode: mode},
+					mode+" after batch "+pat)
+			}
+		}
+	}
+	// Pattern naming the new label wiring must agree too.
+	f.assertIdentical(t, "node a l0\nnode b l1\nedge a b", api.QuerySpec{Mode: api.ModePlus}, "new nodes")
+
+	// No replica went stale: the whole fleet serves at the router's vector.
+	h, err := f.rc.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Role != api.RoleRouter {
+		t.Fatalf("router health %q role %q after updates", h.Status, h.Role)
+	}
+	for _, sh := range h.Shards {
+		if sh.Serving != sh.Replicas {
+			t.Fatalf("shard %d: %d/%d replicas serving after updates", sh.Shard, sh.Serving, sh.Replicas)
+		}
+	}
+}
+
+func TestRouterHaloExceeded(t *testing.T) {
+	f := newFleet(t, buildSynthetic(40, 3), 2, 1, nil)
+	// A 3-node path has diameter 2 > halo 1.
+	pat := "node a l0\nnode b l1\nnode c l2\nedge a b\nedge b c"
+	_, err := f.rc.MatchText(context.Background(), pat, api.QuerySpec{Mode: api.ModePlus})
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeHaloExceeded {
+		t.Fatalf("want %s, got %v", api.CodeHaloExceeded, err)
+	}
+	// Same pattern with an explicit radius inside the halo is served.
+	if _, err := f.rc.MatchText(context.Background(), pat,
+		api.QuerySpec{Mode: api.ModePlus, Radius: 1}); err != nil {
+		t.Fatalf("radius 1 within halo 1 must serve: %v", err)
+	}
+}
+
+func TestRouterPartialResults(t *testing.T) {
+	f := newFleet(t, buildSynthetic(60, 5), 3, 2, nil)
+	g := generator.Synthetic(60, 1.2, 5, 5)
+	pat := testPatterns(g)[0]
+	ctx := context.Background()
+
+	const dead = 1
+	f.shardTS[dead][0].Close()
+
+	// Without allow_partial: a structured 502, never a silent subset.
+	_, err := f.rc.MatchText(ctx, pat, api.QuerySpec{Mode: api.ModePlus})
+	var aerr *api.Error
+	if !errors.As(err, &aerr) || aerr.Code != api.CodeShardUnavailable {
+		t.Fatalf("want %s with a dead shard, got %v", api.CodeShardUnavailable, err)
+	}
+
+	// With allow_partial: 200, the partial marker names the dead shard, and
+	// every returned match is a match the full deployment would return.
+	got, err := f.rc.MatchText(ctx, pat, api.QuerySpec{Mode: api.ModePlus, AllowPartial: true})
+	if err != nil {
+		t.Fatalf("allow_partial must serve: %v", err)
+	}
+	if got.Partial == nil || len(got.Partial.FailedShards) != 1 || got.Partial.FailedShards[0] != dead {
+		t.Fatalf("partial marker = %+v, want failed shard [%d]", got.Partial, dead)
+	}
+	if got.Partial.MissingNodes == 0 {
+		t.Fatal("a dead shard owns centers; missing_nodes must be positive")
+	}
+	full, err := f.sc.MatchText(ctx, pat, api.QuerySpec{Mode: api.ModePlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSet := make(map[string]bool, len(full.Matches))
+	for i := range full.Matches {
+		b, _ := json.Marshal(full.Matches[i])
+		fullSet[string(b)] = true
+	}
+	owner := f.router.plan.Owner
+	for i := range got.Matches {
+		if owner[got.Matches[i].Center] == dead {
+			t.Fatalf("dead shard's center %d in a partial result", got.Matches[i].Center)
+		}
+	}
+	// Every surviving center the single node reports must still be present.
+	for i := range full.Matches {
+		if owner[full.Matches[i].Center] != dead {
+			b, _ := json.Marshal(full.Matches[i])
+			found := false
+			for j := range got.Matches {
+				gb, _ := json.Marshal(got.Matches[j])
+				if string(gb) == string(b) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("surviving center %d missing from partial result", full.Matches[i].Center)
+			}
+		}
+	}
+
+	// The probe loop observes the dead shard; health degrades.
+	f.router.probeOnce(ctx)
+	h, err := f.rc.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("health %q with a dead shard, want degraded", h.Status)
+	}
+	if h.Shards[dead].Serving != 0 {
+		t.Fatalf("dead shard reports %d serving replicas", h.Shards[dead].Serving)
+	}
+}
+
+func TestRouterReplicaFailover(t *testing.T) {
+	f := newFleet(t, buildSynthetic(50, 9), 2, 2, map[int]int{0: 2})
+	g := generator.Synthetic(50, 1.2, 5, 9)
+	pat := testPatterns(g)[0]
+
+	// Kill replica 0 of shard 0: the fan-out falls over to replica 1 and
+	// results stay byte-identical.
+	f.shardTS[0][0].Close()
+	f.assertIdentical(t, pat, api.QuerySpec{Mode: api.ModePlus}, "failover")
+
+	f.router.probeOnce(context.Background())
+	h, err := f.rc.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards[0].Serving != 1 || h.Shards[0].Replicas != 2 {
+		t.Fatalf("shard 0 health %+v, want 1/2 serving", h.Shards[0])
+	}
+	if h.Status != "ok" {
+		t.Fatalf("one live replica per shard still serves; health %q", h.Status)
+	}
+}
+
+func TestRouterStreamMatchesSingleNode(t *testing.T) {
+	f := newFleet(t, buildSynthetic(70, 13), 3, 2, nil)
+	g := generator.Synthetic(70, 1.2, 5, 13)
+	ctx := context.Background()
+	for _, pat := range testPatterns(g)[:3] {
+		var streamed []api.SubgraphJSON
+		done, err := f.rc.MatchStream(ctx, api.MatchRequest{
+			PatternText: pat, Query: api.QuerySpec{Mode: api.ModePlus},
+		}, func(sj api.SubgraphJSON) error {
+			streamed = append(streamed, sj)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("router stream: %v", err)
+		}
+		if done.Code != "" || done.Partial != nil {
+			t.Fatalf("healthy stream ended %q partial=%+v", done.Code, done.Partial)
+		}
+		want, err := f.sc.MatchText(ctx, pat, api.QuerySpec{Mode: api.ModePlus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) != len(want.Matches) || done.Matches != len(want.Matches) {
+			t.Fatalf("streamed %d (done says %d), single node has %d", len(streamed), done.Matches, len(want.Matches))
+		}
+		// Stream order is unspecified; compare as sets of serialized matches.
+		set := make(map[string]int, len(streamed))
+		for i := range streamed {
+			b, _ := json.Marshal(streamed[i])
+			set[string(b)]++
+		}
+		for i := range want.Matches {
+			b, _ := json.Marshal(want.Matches[i])
+			if set[string(b)] == 0 {
+				t.Fatalf("single-node match missing from stream: %s", b)
+			}
+			set[string(b)]--
+		}
+	}
+}
+
+func TestRouterStandingQueries(t *testing.T) {
+	f := newFleet(t, buildSynthetic(40, 17), 2, 2, nil)
+	ctx := context.Background()
+	pat := "node a l0\nnode b l1\nedge a b"
+
+	// Standing queries live on the router's authoritative store and see
+	// exactly the single-node semantics.
+	qj, err := f.rc.RegisterText(ctx, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rc.Update(ctx, api.AddNode("l0"), api.AddNode("l1"), api.InsertEdge(40, 41)); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := f.rc.PollDelta(ctx, qj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Version != 1 {
+		t.Fatalf("standing query maintained to version %d, want 1", delta.Version)
+	}
+	// The new edge must match over the router too, identically to a fresh
+	// single node that saw the same update.
+	if _, err := f.sc.Update(ctx, api.AddNode("l0"), api.AddNode("l1"), api.InsertEdge(40, 41)); err != nil {
+		t.Fatal(err)
+	}
+	n := f.assertIdentical(t, pat, api.QuerySpec{Mode: api.ModePlus}, "standing pattern")
+	if n == 0 {
+		t.Fatal("inserted l0->l1 edge must match")
+	}
+}
+
+func TestRouterRejectsUnderflowedPlans(t *testing.T) {
+	g := generator.Synthetic(20, 1.2, 3, 1)
+	plan, err := BuildPlan(g, 2, 1, StrategyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRouter(live.NewStore(g, live.Config{}), Config{
+		Plan:   plan,
+		Shards: [][]string{{"http://s0"}}, // plan says 2
+	}); err == nil {
+		t.Fatal("shard-count mismatch must be rejected")
+	}
+	if _, err := NewRouter(live.NewStore(g, live.Config{}), Config{
+		Plan:   plan,
+		Shards: [][]string{{"http://s0"}, {}},
+	}); err == nil {
+		t.Fatal("replica-less shard must be rejected")
+	}
+}
