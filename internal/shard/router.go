@@ -13,6 +13,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -58,7 +59,8 @@ type Config struct {
 // replica is one fan-out target: a member of one shard's replica set.
 type replica struct {
 	addr string
-	cl   *client.Client
+	cl   *client.Client // retrying client for idempotent calls (match, healthz)
+	upCl *client.Client // no-retry client for /v1/update: a replayed batch double-applies
 
 	mu      sync.Mutex
 	healthy bool // reachable per the last probe or request
@@ -70,6 +72,12 @@ func (rep *replica) available() bool {
 	rep.mu.Lock()
 	defer rep.mu.Unlock()
 	return rep.healthy && !rep.stale
+}
+
+func (rep *replica) isStale() bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.stale
 }
 
 func (rep *replica) setHealthy(ok bool, note string) {
@@ -186,10 +194,17 @@ func NewRouter(store *live.Store, cfg Config) (*Router, error) {
 		reps := make([]*replica, 0, len(addrs))
 		for _, addr := range addrs {
 			opts := []client.Option{client.WithRetryPolicy(cfg.Retry)}
+			var upOpts []client.Option // no retry policy: update batches are not idempotent
 			if cfg.HTTPClient != nil {
 				opts = append(opts, client.WithHTTPClient(cfg.HTTPClient))
+				upOpts = append(upOpts, client.WithHTTPClient(cfg.HTTPClient))
 			}
-			reps = append(reps, &replica{addr: addr, cl: client.New(addr, opts...), healthy: true})
+			reps = append(reps, &replica{
+				addr:    addr,
+				cl:      client.New(addr, opts...),
+				upCl:    client.New(addr, upOpts...),
+				healthy: true,
+			})
 		}
 		r.shards = append(r.shards, reps)
 		si := strconv.Itoa(s)
@@ -236,8 +251,13 @@ func (r *Router) Push(ctx context.Context) error {
 	members := r.members
 	r.mu.RUnlock()
 
+	nrep := 0
+	for _, reps := range r.shards {
+		nrep += len(reps)
+	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(r.shards))
+	errs := make([]error, nrep) // one slot per replica: goroutines never share one
+	i := 0
 	for s, reps := range r.shards {
 		batches := InitialBatches(g, members[s], r.cfg.PushChunk)
 		r.mu.Lock()
@@ -245,12 +265,13 @@ func (r *Router) Push(ctx context.Context) error {
 		r.mu.Unlock()
 		for _, rep := range reps {
 			wg.Add(1)
-			go func(s int, rep *replica, batches [][]api.MutationJSON) {
+			go func(s, i int, rep *replica, batches [][]api.MutationJSON) {
 				defer wg.Done()
 				if err := r.pushReplica(ctx, rep, batches); err != nil {
-					errs[s] = fmt.Errorf("shard %d replica %s: %w", s, rep.addr, err)
+					errs[i] = fmt.Errorf("shard %d replica %s: %w", s, rep.addr, err)
 				}
-			}(s, rep, batches)
+			}(s, i, rep, batches)
+			i++
 		}
 	}
 	wg.Wait()
@@ -269,7 +290,7 @@ func (r *Router) pushReplica(ctx context.Context, rep *replica, batches [][]api.
 	}
 	for i, batch := range batches {
 		bctx, cancel := context.WithTimeout(ctx, r.cfg.ShardTimeout)
-		res, err := rep.cl.Update(bctx, batch...)
+		res, err := rep.upCl.Update(bctx, batch...)
 		cancel()
 		if err != nil {
 			return fmt.Errorf("push batch %d/%d: %w", i+1, len(batches), err)
@@ -673,8 +694,14 @@ func (r *Router) callShard(ctx context.Context, s int, kind string, root obs.Spa
 		if errors.As(err, &aerr) && aerr.Status >= 400 && aerr.Status < 500 {
 			return err // the request is wrong, not the replica
 		}
-		rep.setHealthy(false, err.Error())
 		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's own deadline expired or it disconnected; the
+			// failure says nothing about the replica, and the remaining
+			// replicas would fail identically. Keep everyone admitted.
+			break
+		}
+		rep.setHealthy(false, err.Error())
 	}
 	r.metrics[s].lost.Inc()
 	if lastErr == nil {
@@ -950,17 +977,39 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// verifyVersion asks a replica directly, after a failed update delivery,
+// whether the batch nevertheless landed. It runs on a fresh context: the
+// verdict must not depend on whatever killed the delivery.
+func (r *Router) verifyVersion(rep *replica, want uint64) bool {
+	vctx, cancel := context.WithTimeout(context.Background(), r.cfg.ShardTimeout)
+	defer cancel()
+	h, err := rep.cl.Healthz(vctx)
+	return err == nil && h.Version == want
+}
+
 // toMutation mirrors the single-node wire validation (api keeps its version
 // unexported; the rule is small and must not drift: every destructive op
-// names its target explicitly).
+// names its target explicitly). The router additionally rejects labels
+// containing NUL: live.TombstoneLabel and shard.FillerLabel are internal
+// markers, and a client-set FillerLabel would make a real member node
+// indistinguishable from halo filler on the shards.
 func toMutation(m api.MutationJSON, i int) (live.Mutation, error) {
+	label := func(op string) (string, error) {
+		if strings.IndexByte(*m.Label, 0) >= 0 {
+			return "", fmt.Errorf("updates[%d]: %s label contains NUL; reserved for internal markers", i, op)
+		}
+		return *m.Label, nil
+	}
 	out := live.Mutation{Op: live.Op(m.Op)}
 	switch out.Op {
 	case live.OpAddNode:
 		if m.Label == nil {
 			return out, fmt.Errorf("updates[%d]: add_node requires \"label\"", i)
 		}
-		out.Label = *m.Label
+		var err error
+		if out.Label, err = label("add_node"); err != nil {
+			return out, err
+		}
 	case live.OpInsertEdge, live.OpDeleteEdge:
 		if m.U == nil || m.V == nil {
 			return out, fmt.Errorf("updates[%d]: %s requires \"u\" and \"v\"", i, m.Op)
@@ -975,7 +1024,11 @@ func toMutation(m api.MutationJSON, i int) (live.Mutation, error) {
 		if m.Node == nil || m.Label == nil {
 			return out, fmt.Errorf("updates[%d]: set_label requires \"node\" and \"label\"", i)
 		}
-		out.Node, out.Label = *m.Node, *m.Label
+		out.Node = *m.Node
+		var err error
+		if out.Label, err = label("set_label"); err != nil {
+			return out, err
+		}
 	default:
 		return out, fmt.Errorf("updates[%d]: unknown op %q", i, m.Op)
 	}
@@ -1024,7 +1077,11 @@ func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	r.owner = r.plan.Owner
 	r.mu.Unlock()
 
-	ctx := req.Context()
+	// The batch is already in the authoritative store, so the shard fan-out
+	// must run to completion no matter what the caller does: a client that
+	// disconnects or times out mid-fan-out must not cancel the deliveries
+	// and eject every touched replica. Per-call ShardTimeout is the bound.
+	ctx := context.WithoutCancel(req.Context())
 	versions := make(map[int]uint64, len(r.shards))
 	var wg sync.WaitGroup
 	for s := range r.shards {
@@ -1040,12 +1097,13 @@ func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 		want := r.want[s]
 		r.mu.Unlock()
 		versions[s] = want
-		// Every replica must apply the batch; one that cannot is stale for
-		// good (it can no longer serve consistent results) and the probe
-		// loop will not readmit it.
+		// Every replica must apply the batch, so it is attempted even on
+		// replicas a probe currently holds out as unreachable — a delivery
+		// that lands readmits them. One that provably misses the batch is
+		// stale for good (it can no longer serve consistent results) and
+		// the probe loop will not readmit it.
 		for ri, rep := range r.shards[s] {
-			if !rep.available() {
-				rep.markStale("missed an update batch while unavailable")
+			if rep.isStale() {
 				continue
 			}
 			wg.Add(1)
@@ -1057,12 +1115,23 @@ func (r *Router) handleUpdate(w http.ResponseWriter, req *http.Request) {
 				if sp.Recording() {
 					cctx = client.WithTraceContext(cctx, sp.Context().String())
 				}
-				ures, err := rep.cl.Update(cctx, batch...)
+				ures, err := rep.upCl.Update(cctx, batch...)
 				switch {
-				case err != nil:
-					rep.markStale(fmt.Sprintf("update batch failed: %v", err))
-				case ures.Version != want:
+				case err == nil && ures.Version == want:
+					rep.setHealthy(true, "")
+				case err == nil:
 					rep.markStale(fmt.Sprintf("version %d after batch, router expects %d", ures.Version, want))
+				default:
+					// A failed call does not say whether the shard applied
+					// the batch (the connection may have dropped after the
+					// apply); believe the replica's own version, not the
+					// transport.
+					if r.verifyVersion(rep, want) {
+						rep.setHealthy(true, "")
+						err = nil
+					} else {
+						rep.markStale(fmt.Sprintf("update batch failed: %v", err))
+					}
 				}
 				if sp.Recording() {
 					status := ""

@@ -1,10 +1,15 @@
 package shard
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,6 +18,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/graph"
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // fleet is a router deployment under test: N in-process shard servers, the
@@ -430,6 +436,226 @@ func TestRouterStandingQueries(t *testing.T) {
 	n := f.assertIdentical(t, pat, api.QuerySpec{Mode: api.ModePlus}, "standing pattern")
 	if n == 0 {
 		t.Fatal("inserted l0->l1 edge must match")
+	}
+}
+
+// TestRouterUpdateSurvivesCallerCancellation pins the high-severity failure
+// mode: the authoritative store applies the batch first, so a client that
+// disconnects (its request context cancelled) before the shard fan-out
+// completes must not cancel the deliveries — that would eject every touched
+// replica as terminally stale on one dropped connection.
+func TestRouterUpdateSurvivesCallerCancellation(t *testing.T) {
+	f := newFleet(t, buildSynthetic(50, 19), 3, 2, nil)
+	ctx := context.Background()
+
+	body, err := json.Marshal(api.UpdateRequest{Updates: []api.MutationJSON{
+		api.AddNode("l0"), api.AddNode("l1"), api.InsertEdge(50, 51),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", api.Prefix+"/update", bytes.NewReader(body))
+	cctx, cancel := context.WithCancel(ctx)
+	cancel() // the caller is gone before the fan-out even starts
+	req = req.WithContext(cctx)
+	w := httptest.NewRecorder()
+	f.router.handleUpdate(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("update with a cancelled caller context: status %d, body %s", w.Code, w.Body)
+	}
+
+	// Every replica received the batch and stays admitted.
+	f.router.probeOnce(ctx)
+	h, err := f.rc.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health %q after a cancelled-caller update, want ok", h.Status)
+	}
+	for _, sh := range h.Shards {
+		if sh.Serving != sh.Replicas {
+			t.Fatalf("shard %d: %d/%d serving after a cancelled-caller update", sh.Shard, sh.Serving, sh.Replicas)
+		}
+	}
+	// And the fleet still answers byte-identically to a single node that
+	// applied the same batch.
+	if _, err := f.sc.Update(ctx, api.AddNode("l0"), api.AddNode("l1"), api.InsertEdge(50, 51)); err != nil {
+		t.Fatal(err)
+	}
+	n := f.assertIdentical(t, "node a l0\nnode b l1\nedge a b",
+		api.QuerySpec{Mode: api.ModePlus}, "after cancelled-caller update")
+	if n == 0 {
+		t.Fatal("inserted l0->l1 edge must match")
+	}
+}
+
+// TestRouterCallerDeadlineKeepsReplicasAdmitted pins that a match fan-out
+// torn down by the caller's own deadline is no verdict on the replicas:
+// they stay admitted, so the next update does not terminally eject them.
+func TestRouterCallerDeadlineKeepsReplicasAdmitted(t *testing.T) {
+	f := newFleet(t, buildSynthetic(40, 23), 2, 2, map[int]int{0: 2, 1: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for s := range f.router.shards {
+		if err := f.router.callShard(ctx, s, "match", obs.Span{},
+			func(cctx context.Context, cl *client.Client) error {
+				_, err := cl.Healthz(cctx)
+				return err
+			}); err == nil {
+			t.Fatalf("shard %d: fan-out under a cancelled caller context must fail", s)
+		}
+	}
+	for s, reps := range f.router.shards {
+		for ri, rep := range reps {
+			if !rep.available() {
+				t.Fatalf("shard %d replica %d ejected by the caller's own cancellation (%s)", s, ri, rep.note)
+			}
+		}
+	}
+	// The fleet still serves, and an update keeps every replica admitted.
+	if _, err := f.rc.Update(context.Background(), api.AddNode("l0")); err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.rc.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range h.Shards {
+		if sh.Serving != sh.Replicas {
+			t.Fatalf("shard %d: %d/%d serving after update", sh.Shard, sh.Serving, sh.Replicas)
+		}
+	}
+}
+
+// dropProxy forwards to a real shard, but while drop is set it swallows
+// /v1/update responses after the shard applied the batch — the connection
+// failure a flaky network produces at the worst possible moment.
+func dropProxy(t *testing.T, backend string, drop *atomic.Bool) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := http.NewRequestWithContext(req.Context(), req.Method,
+			backend+req.URL.Path, bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out.Header = req.Header.Clone()
+		resp, err := http.DefaultClient.Do(out)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		rb, _ := io.ReadAll(resp.Body)
+		if drop.Load() && strings.HasSuffix(req.URL.Path, "/update") {
+			panic(http.ErrAbortHandler) // applied, but the caller never hears back
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(rb)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRouterUpdateDropAfterApplyNotStale pins two behaviors at once: the
+// update fan-out must not retry at the client level (a replayed batch
+// double-applies and the replica lands at want+1), and a delivery whose
+// response is lost after the shard applied the batch must be resolved by
+// asking the replica its actual version — not by terminal ejection.
+func TestRouterUpdateDropAfterApplyNotStale(t *testing.T) {
+	g := generator.Synthetic(30, 1.2, 4, 21)
+	plan, err := BuildPlan(g, 1, 2, StrategyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardTS := newShard(t)
+	var drop atomic.Bool
+	proxy := dropProxy(t, shardTS.URL, &drop)
+	rt, err := NewRouter(live.NewStore(g, live.Config{Workers: 2}), Config{
+		Plan:          plan,
+		Shards:        [][]string{{proxy.URL}},
+		ShardTimeout:  5 * time.Second,
+		Retry:         testRetry(),
+		ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := rt.Push(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	rc := client.New(rts.URL)
+
+	drop.Store(true)
+	if _, err := rc.Update(ctx, api.AddNode("l0")); err != nil {
+		t.Fatalf("router update: %v", err)
+	}
+	drop.Store(false)
+
+	rep := rt.shards[0][0]
+	if rep.isStale() {
+		t.Fatalf("replica terminally ejected after a drop-after-apply delivery: %s", rep.note)
+	}
+	if !rep.available() {
+		t.Fatalf("replica held out after a verified delivery: %s", rep.note)
+	}
+	// The shard applied the batch exactly once: a second update advances the
+	// version vector in lockstep and the probe agrees.
+	res, err := rc.Update(ctx, api.AddNode("l1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.probeOnce(ctx)
+	if !rep.available() {
+		t.Fatalf("probe ejected the replica after clean deliveries: %s", rep.note)
+	}
+	h, err := rc.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards[0].Version != res.ShardVersions[0] {
+		t.Fatalf("router vector %d, response says %d", h.Shards[0].Version, res.ShardVersions[0])
+	}
+}
+
+// TestRouterRejectsReservedLabels pins that no client can forge the shard
+// filler (or any NUL-carrying marker) through the router: a member node
+// labelled as filler would be indistinguishable from halo padding.
+func TestRouterRejectsReservedLabels(t *testing.T) {
+	f := newFleet(t, buildSynthetic(30, 27), 2, 1, nil)
+	ctx := context.Background()
+	for _, muts := range [][]api.MutationJSON{
+		{api.AddNode(FillerLabel)},
+		{api.SetLabel(0, FillerLabel)},
+		{api.AddNode("ok"), api.SetLabel(1, "a\x00b")},
+	} {
+		_, err := f.rc.Update(ctx, muts...)
+		var aerr *api.Error
+		if !errors.As(err, &aerr) || aerr.Code != api.CodeInvalidMutation {
+			t.Fatalf("NUL label %+v must be rejected with %s, got %v", muts, api.CodeInvalidMutation, err)
+		}
+	}
+	// The rejection happened before the authoritative store applied anything.
+	h, err := f.rc.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 0 {
+		t.Fatalf("rejected batches bumped the store to version %d", h.Version)
 	}
 }
 
