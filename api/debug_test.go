@@ -277,7 +277,11 @@ func TestDebugRecorderParity(t *testing.T) {
 		if mr.QueryStats != nil {
 			t.Errorf("mode %s: recorder leaked query_stats without stats:true", mode)
 		}
+		// This is the third identical query against this server; no_plan
+		// keeps it on the evaluation path, where a trace must report built
+		// balls (a cache hit would legitimately report zero).
 		req.Query.Stats = true
+		req.Query.NoPlan = true
 		_, statsBody := post(t, on.URL+"/v1/match", req)
 		if err := json.Unmarshal(statsBody, &mr); err != nil {
 			t.Fatal(err)

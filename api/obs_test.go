@@ -56,7 +56,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	for i := 0; i < n; i++ {
 		resp, body := post(t, ts.URL+"/v1/match", MatchRequest{
 			PatternText: graph.FormatString(q),
-			Query:       QuerySpec{Mode: ModePlus},
+			// no_plan keeps every iteration on the evaluation path: this
+			// test counts exec-pool runs, which a cache hit would skip.
+			Query: QuerySpec{Mode: ModePlus, NoPlan: true},
 		})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("match %d: status %d: %s", i, resp.StatusCode, body)
@@ -322,11 +324,15 @@ func TestQueryStatsParity(t *testing.T) {
 	ts, _ := newTestServer(t, g, Config{})
 
 	for _, mode := range []string{ModePlain, ModePlus} {
+		// no_plan pins both requests to the evaluation path; a repeat
+		// would otherwise answer from the planner's cache with a trace
+		// that legitimately built zero balls. Planner tracing has its own
+		// coverage in plan_test.go.
 		off := matchJSON(t, ts.URL, MatchRequest{
-			PatternText: graph.FormatString(q), Query: QuerySpec{Mode: mode},
+			PatternText: graph.FormatString(q), Query: QuerySpec{Mode: mode, NoPlan: true},
 		})
 		on := matchJSON(t, ts.URL, MatchRequest{
-			PatternText: graph.FormatString(q), Query: QuerySpec{Mode: mode, Stats: true},
+			PatternText: graph.FormatString(q), Query: QuerySpec{Mode: mode, Stats: true, NoPlan: true},
 		})
 		if off.QueryStats != nil {
 			t.Errorf("mode %s: stats off but query_stats present", mode)
@@ -359,7 +365,7 @@ func TestQueryStatsParity(t *testing.T) {
 
 	// The streaming endpoint carries the trace in its done trailer.
 	resp, body := post(t, ts.URL+"/v1/match/stream", MatchRequest{
-		PatternText: graph.FormatString(q), Query: QuerySpec{Stats: true},
+		PatternText: graph.FormatString(q), Query: QuerySpec{Stats: true, NoPlan: true},
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream status %d: %s", resp.StatusCode, body)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/live"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // Config tunes the HTTP front end. Zero values take the defaults noted on
@@ -94,8 +95,17 @@ func (c Config) withDefaults() Config {
 
 // NewServer serves the /v1 protocol over one prepared engine — the
 // read-only deployment shape. See the package comment for the route tree.
+// The graph is immutable, so the full query planner applies: candidate
+// pruning and the match-result cache (no invalidation ever needed).
 func NewServer(e *engine.Engine, cfg Config) http.Handler {
-	return NewDynamicServer(func() *engine.Engine { return e }, cfg)
+	cfg = cfg.withDefaults()
+	s := &server{
+		engine:  func() *engine.Engine { return e },
+		cfg:     cfg,
+		log:     cfg.AccessLog,
+		planner: plan.NewPlanner(plan.Config{}),
+	}
+	return s.routes()
 }
 
 // NewDynamicServer is NewServer over an engine *provider*: each request
@@ -104,18 +114,31 @@ func NewServer(e *engine.Engine, cfg Config) http.Handler {
 // one-shot queries always answer against the newest published snapshot
 // while in-flight requests keep the consistent view they started with. The
 // provider must be safe for concurrent use and must never return nil.
+//
+// The planner runs pruning-only here: an arbitrary provider gives the
+// server no hook to observe mutations, so result caching would be unsound.
+// Deployments with an invalidation protocol (live stores) use NewLiveServer
+// and get the cache.
 func NewDynamicServer(provider func() *engine.Engine, cfg Config) http.Handler {
 	cfg = cfg.withDefaults()
-	s := &server{engine: provider, cfg: cfg, log: cfg.AccessLog}
+	s := &server{
+		engine:  provider,
+		cfg:     cfg,
+		log:     cfg.AccessLog,
+		planner: plan.NewPlanner(plan.Config{CacheEntries: -1}),
+	}
 	return s.routes()
 }
 
 // NewLiveServer serves the full /v1 protocol over a mutable live store:
 // the read-only endpoints (answered against the latest published version)
-// plus /v1/update and the /v1/queries standing-query tree.
+// plus /v1/update and the /v1/queries standing-query tree. Queries plan
+// through the store's planner, whose result cache the store invalidates
+// surgically on every update batch.
 func NewLiveServer(st *live.Store, cfg Config) http.Handler {
 	cfg = cfg.withDefaults()
-	s := &server{engine: st.Engine, store: st, cfg: cfg, log: cfg.AccessLog}
+	s := &server{engine: st.Engine, store: st, cfg: cfg, log: cfg.AccessLog,
+		planner: st.Planner()}
 	return s.routes()
 }
 
@@ -132,6 +155,10 @@ type server struct {
 	// set, keeping slow/errored/head-sampled traces for /v1/debug/traces;
 	// nil otherwise, and the serving path records nothing.
 	tracer *obs.Tracer
+	// planner is handed to every match query unless the request opts out
+	// with "no_plan": true. Pruning-only on dynamic-provider deployments
+	// (see NewDynamicServer), full caching on immutable and live ones.
+	planner *plan.Planner
 }
 
 // routes builds the unified route tree: the /v1 endpoints plus the
@@ -436,6 +463,9 @@ func (s *server) serveMatch(w http.ResponseWriter, r *http.Request, req *MatchRe
 		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidQuery, "%v", err))
 		return
 	}
+	if !req.Query.NoPlan {
+		opts.Planner = s.planner
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.Query.DeadlineMS))
 	defer cancel()
 	trace := s.trace(r, &opts, req.Query.Stats)
@@ -499,6 +529,9 @@ func (s *server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, Errorf(http.StatusBadRequest, CodeInvalidQuery, "%v", err))
 		return
+	}
+	if !req.Query.NoPlan {
+		opts.Planner = s.planner // pruning only: streaming bypasses the cache
 	}
 	// Validate connectivity before committing the 200: engine.Stream only
 	// reports pattern errors through Wait, after headers are long gone.

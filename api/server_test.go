@@ -257,7 +257,10 @@ func TestV1MatchStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	body, err := json.Marshal(MatchRequest{PatternText: graph.FormatString(q)})
+	// no_plan keeps the stream on the evaluation path so its stats compare
+	// exactly against the unplanned engine.Match above.
+	body, err := json.Marshal(MatchRequest{PatternText: graph.FormatString(q),
+		Query: QuerySpec{NoPlan: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -55,6 +55,11 @@ type QuerySpec struct {
 	// marker instead of failing with CodeShardUnavailable. Single-node
 	// servers ignore it (their responses are always complete).
 	AllowPartial bool `json:"allow_partial,omitempty"`
+	// NoPlan bypasses the server's query planner for this request: no
+	// candidate pruning, no result cache — the escape hatch for debugging
+	// and for parity checks (a planned and an unplanned query answer with
+	// identical matches; only query_stats accounting differs).
+	NoPlan bool `json:"no_plan,omitempty"`
 }
 
 // MetricByName resolves a wire metric name to its ranking function.

@@ -272,6 +272,16 @@ type QueryStatsJSON struct {
 	FilterMS         float64 `json:"filter_ms"`
 	EvalMS           float64 `json:"eval_ms"`
 	MergeMS          float64 `json:"merge_ms"`
+	// Planner accounting, present only on planned queries (the default;
+	// absent with "no_plan": true or on unplanned paths). The pruning
+	// counters report the candidate centers entering the planner's filters
+	// and how many each filter removed; plan_cache is the result-cache
+	// outcome of an unlimited match: "hit", "refresh", "contained" or
+	// "miss".
+	PlanCandidatesBefore int    `json:"plan_candidates_before,omitempty"`
+	PlanPrunedSignature  int    `json:"plan_pruned_signature,omitempty"`
+	PlanPrunedDegree     int    `json:"plan_pruned_degree,omitempty"`
+	PlanCache            string `json:"plan_cache,omitempty"`
 }
 
 // FromQueryStats serializes an engine-side stage trace.
@@ -286,6 +296,11 @@ func FromQueryStats(qs *obs.QueryStats) *QueryStatsJSON {
 		FilterMS:         ms(qs.Filter),
 		EvalMS:           ms(qs.Eval),
 		MergeMS:          ms(qs.Merge),
+
+		PlanCandidatesBefore: qs.PlanCandidatesBefore,
+		PlanPrunedSignature:  qs.PlanPrunedSignature,
+		PlanPrunedDegree:     qs.PlanPrunedDegree,
+		PlanCache:            qs.PlanCacheOutcome,
 	}
 }
 

@@ -35,6 +35,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,8 +78,14 @@ func main() {
 		partialOK   = flag.Bool("partial-ok", false, "set query.allow_partial on match requests: a sharded router answers with degraded results instead of 502 when shards are down; the report splits complete from partial responses")
 		debugOn     = flag.Bool("debug", false, "enable /v1/debug on the self-hosted server and audit its flight recorder and kept traces after the run")
 		traceRate   = flag.Float64("trace-sample", 0, "head-sampling rate [0,1] for the self-hosted server's request tracer (with -debug)")
+		queryZipf   = flag.Float64("query-zipf", 0, "zipfian exponent s > 1 for pattern popularity (0 = uniform): a skewed repeat-heavy query mix, the shape the server's match-result cache is built for")
+		noPlan      = flag.Bool("no-plan", false, "set query.no_plan on match requests, bypassing the server's query planner — the control run for planner benchmarks")
+		parity      = flag.Bool("parity", false, "after the run, re-issue every sampled pattern planned and unplanned and fail unless the matches are byte-identical")
 	)
 	flag.Parse()
+	if *queryZipf != 0 && *queryZipf <= 1 {
+		log.Fatal("-query-zipf wants an exponent > 1 (or 0 for uniform)")
+	}
 
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -105,6 +112,7 @@ func main() {
 		mode:      *mode,
 		pats:      samplePatterns(g, *patterns, *seed),
 		partialOK: *partialOK,
+		noPlan:    *noPlan,
 	}
 	if mix.update > 0 || mix.standing > 0 {
 		if err := run.setupMutable(ctx, h.Nodes); err != nil {
@@ -125,8 +133,14 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+			// The zipf sampler is per worker: rand.Zipf is not safe for
+			// concurrent use and each worker owns its rng anyway.
+			var zipf *rand.Zipf
+			if *queryZipf > 1 {
+				zipf = rand.NewZipf(rng, *queryZipf, 1, uint64(len(run.pats)-1))
+			}
 			for time.Now().Before(deadline) {
-				run.one(ctx, rng, mix)
+				run.one(ctx, rng, zipf, mix)
 			}
 		}(w)
 	}
@@ -145,6 +159,12 @@ func main() {
 	rep.Config.Mode = *mode
 	rep.Config.Patterns = *patterns
 	rep.Config.PartialOK = *partialOK
+	rep.Config.QueryZipf = *queryZipf
+	rep.Config.NoPlan = *noPlan
+	rep.planSummary()
+	if *parity {
+		run.checkParity(ctx)
+	}
 	auditFlightRecorder(ctx, cl, rep, *debugOn)
 	auditTraces(ctx, cl, rep, *debugOn, *traceRate)
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -290,10 +310,15 @@ func auditTraces(ctx context.Context, cl *client.Client, rep *Report, debug bool
 			for _, c := range tj.Root.Children {
 				have[c.Name] = true
 			}
-			for _, want := range engineStages {
-				if !have[want] {
-					log.Fatalf("traces: match trace %s is missing the %q stage span",
-						sum.TraceID, want)
+			// A match served from the planner's result cache skips the
+			// engine stages entirely and records a single plan.hit span in
+			// their place; anything else must carry all four.
+			if !have["plan.hit"] {
+				for _, want := range engineStages {
+					if !have[want] {
+						log.Fatalf("traces: match trace %s is missing the %q stage span",
+							sum.TraceID, want)
+					}
 				}
 			}
 		}
@@ -359,6 +384,7 @@ type runner struct {
 	mode      string
 	pats      []string
 	partialOK bool
+	noPlan    bool
 
 	queryID int64 // standing query registered at setup
 	edgeU   int32 // endpoints of the churn edge update ops toggle
@@ -410,16 +436,24 @@ func traceparent(rng *rand.Rand) string {
 		rng.Uint64()|1, rng.Uint64(), rng.Uint64()|1)
 }
 
-func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
+func (r *runner) one(ctx context.Context, rng *rand.Rand, zipf *rand.Zipf, m mixWeights) {
 	// Every request joins a client-minted trace, exercising propagation
 	// end to end; the server echoes the context on the response.
 	ctx = client.WithTraceContext(ctx, traceparent(rng))
 	pick := rng.Intn(m.match + m.update + m.standing)
 	switch {
 	case pick < m.match:
-		pat := r.pats[rng.Intn(len(r.pats))]
+		// Uniform pattern choice by default; under -query-zipf a few
+		// patterns dominate, the repeat-heavy shape that lets the server's
+		// match-result cache pay off.
+		idx := rng.Intn(len(r.pats))
+		if zipf != nil {
+			idx = int(zipf.Uint64())
+		}
+		pat := r.pats[idx]
 		start := time.Now()
-		res, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode, AllowPartial: r.partialOK})
+		res, err := r.cl.MatchText(ctx, pat, api.QuerySpec{
+			Mode: r.mode, AllowPartial: r.partialOK, NoPlan: r.noPlan})
 		r.record("/v1/match", time.Since(start), err)
 		if err == nil {
 			r.matches.Add(int64(len(res.Matches)))
@@ -444,29 +478,83 @@ func (r *runner) one(ctx context.Context, rng *rand.Rand, m mixWeights) {
 	}
 }
 
+// checkParity re-issues every sampled pattern twice — planned and with
+// no_plan — and fails unless the two answers carry byte-identical matches:
+// the planner's correctness bar, checked end to end over the wire. After a
+// run the cache is warm, so the planned side typically answers from it and
+// the check covers the cached path, not just pruning.
+func (r *runner) checkParity(ctx context.Context) {
+	// Parity requests join client-minted traces like every other request,
+	// so the post-run trace audit's propagation invariant holds for them.
+	rng := rand.New(rand.NewSource(0x70617269))
+	for i, pat := range r.pats {
+		ctx := client.WithTraceContext(ctx, traceparent(rng))
+		planned, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode})
+		if err != nil {
+			log.Fatalf("parity: pattern %d planned match: %v", i, err)
+		}
+		control, err := r.cl.MatchText(ctx, pat, api.QuerySpec{Mode: r.mode, NoPlan: true})
+		if err != nil {
+			log.Fatalf("parity: pattern %d unplanned match: %v", i, err)
+		}
+		a, _ := json.Marshal(planned.Matches)
+		b, _ := json.Marshal(control.Matches)
+		if !bytes.Equal(a, b) {
+			log.Fatalf("parity: pattern %d: planned and unplanned matches differ:\nplanned:   %s\nunplanned: %s",
+				i, a, b)
+		}
+	}
+	log.Printf("parity: %d patterns answered identically planned and unplanned", len(r.pats))
+}
+
 // Report is the BENCH_PR8.json shape: per-endpoint client-observed
 // throughput and latency quantiles, server-side span-duration quantiles per
 // stage from the kept traces, plus the server's own counter movement over
 // the run.
 type Report struct {
 	Config struct {
-		Concurrency int    `json:"concurrency"`
-		Mix         string `json:"mix"`
-		Mode        string `json:"mode"`
-		Patterns    int    `json:"patterns"`
-		PartialOK   bool   `json:"partial_ok,omitempty"`
+		Concurrency int     `json:"concurrency"`
+		Mix         string  `json:"mix"`
+		Mode        string  `json:"mode"`
+		Patterns    int     `json:"patterns"`
+		PartialOK   bool    `json:"partial_ok,omitempty"`
+		QueryZipf   float64 `json:"query_zipf,omitempty"`
+		NoPlan      bool    `json:"no_plan,omitempty"`
 	} `json:"config"`
-	DurationSeconds    float64                   `json:"duration_seconds"`
-	TotalRequests      int64                     `json:"total_requests"`
-	TotalErrors        int64                     `json:"total_errors"`
-	TotalMatches       int64                     `json:"total_matches"`
-	CompleteResponses  int64                     `json:"complete_responses"`
-	PartialResponses   int64                     `json:"partial_responses"`
-	SlowQueries        int                       `json:"slow_queries"`
-	TracesKept         int                       `json:"traces_kept"`
-	TraceStages        map[string]StageQuantiles `json:"trace_stage_quantiles,omitempty"`
-	Endpoints          map[string]EndpointStats  `json:"endpoints"`
-	ServerMetricsDelta map[string]float64        `json:"server_metrics_delta"`
+	DurationSeconds   float64 `json:"duration_seconds"`
+	TotalRequests     int64   `json:"total_requests"`
+	TotalErrors       int64   `json:"total_errors"`
+	TotalMatches      int64   `json:"total_matches"`
+	CompleteResponses int64   `json:"complete_responses"`
+	PartialResponses  int64   `json:"partial_responses"`
+	SlowQueries       int     `json:"slow_queries"`
+	TracesKept        int     `json:"traces_kept"`
+	// Planner movement over the run, folded out of the server metrics
+	// delta: candidate centers the pruning filters removed, the fraction of
+	// the entering candidates that represents, and the fraction of
+	// cache-consulting matches answered from a cached entry (exact or
+	// containment — repairs and misses count against it).
+	PlanCandidatesPruned float64                   `json:"plan_candidates_pruned"`
+	CandidateReduction   float64                   `json:"candidate_reduction"`
+	CacheHitRate         float64                   `json:"cache_hit_rate"`
+	TraceStages          map[string]StageQuantiles `json:"trace_stage_quantiles,omitempty"`
+	Endpoints            map[string]EndpointStats  `json:"endpoints"`
+	ServerMetricsDelta   map[string]float64        `json:"server_metrics_delta"`
+}
+
+// planSummary folds the planner counters in the server metrics delta into
+// the report's headline fields.
+func (rep *Report) planSummary() {
+	d := rep.ServerMetricsDelta
+	rep.PlanCandidatesPruned = d["plan_candidates_pruned_total"]
+	if before := d["plan_candidates_before_total"]; before > 0 {
+		rep.CandidateReduction = rep.PlanCandidatesPruned / before
+	}
+	hits := d["plan_cache_hits_total"] + d["plan_cache_contained_hits_total"]
+	lookups := hits + d["plan_cache_refresh_total"] + d["plan_cache_misses_total"]
+	if lookups > 0 {
+		rep.CacheHitRate = hits / lookups
+	}
 }
 
 // StageQuantiles summarizes one span name's durations across every kept
@@ -550,7 +638,7 @@ func diffMetrics(before, after map[string]float64) map[string]float64 {
 	keep := func(name string) bool {
 		for _, p := range []string{
 			"http_requests_total", "http_request_seconds_count", "http_request_seconds_sum",
-			"exec_", "scratch_", "live_", "http_panics_total", "slow_", "trace",
+			"exec_", "scratch_", "live_", "http_panics_total", "slow_", "trace", "plan_",
 		} {
 			if strings.HasPrefix(name, p) {
 				return true

@@ -14,8 +14,10 @@ package approx
 
 import (
 	"math/bits"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/plan"
 )
 
 // nhEntry is one node's neighborhood index record, TALE's NH-index: label,
@@ -34,7 +36,41 @@ type nhIndex struct {
 	entries []nhEntry
 }
 
-func labelBit(label int32) uint64 { return 1 << (uint32(label) % 64) }
+// labelBit delegates to the planner's signature bit so the approximate
+// path (TALE's NH-index) and the exact path (plan.Index) summarize labels
+// identically — one hash to reason about, one set of collision semantics.
+func labelBit(label int32) uint64 { return plan.LabelBit(label) }
+
+// nhMemo is a one-slot version-aware memo for the data graph's NH-index.
+// Graphs are immutable once built — a live store publishes each version as
+// a fresh *graph.Graph — so pointer identity is a sound version key: a
+// repeated TALE query against the current version reuses the index, and a
+// newly published version misses and rebuilds. One slot bounds retention
+// (the slot holds the latest-queried graph only, not every version ever
+// seen).
+var nhMemo struct {
+	mu  sync.Mutex
+	g   *graph.Graph
+	idx *nhIndex
+}
+
+// nhIndexFor returns the (possibly memoized) NH-index of a data graph.
+// Query graphs are tiny and per-request; callers index them with
+// buildNHIndex directly.
+func nhIndexFor(g *graph.Graph) *nhIndex {
+	nhMemo.mu.Lock()
+	if nhMemo.g == g {
+		idx := nhMemo.idx
+		nhMemo.mu.Unlock()
+		return idx
+	}
+	nhMemo.mu.Unlock()
+	idx := buildNHIndex(g)
+	nhMemo.mu.Lock()
+	nhMemo.g, nhMemo.idx = g, idx
+	nhMemo.mu.Unlock()
+	return idx
+}
 
 // buildNHIndex computes the index in O(Σ_v deg(v)²) worst case (neighbor
 // connection counting); data graphs in the experiments are sparse.

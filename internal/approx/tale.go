@@ -73,7 +73,7 @@ func (m *TALEMatch) Nodes() []int32 {
 func TALE(q, g *graph.Graph, opts TALEOptions) []*TALEMatch {
 	opts.defaults()
 	qi := buildNHIndex(q)
-	gi := buildNHIndex(g)
+	gi := nhIndexFor(g) // memoized per graph version
 
 	important := importantNodes(q, opts.ImportantFraction)
 	if len(important) == 0 {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/simulation"
 )
 
@@ -95,6 +96,13 @@ type QueryOptions struct {
 	// concurrent queries; read it only after the query has finished (after
 	// Match returns, or after Stream.Wait).
 	Trace *obs.QueryStats
+	// Planner, when non-nil, enables query planning: candidate-center
+	// pruning against the snapshot's signature/degree indexes on every
+	// execution path, and — for unlimited Match — the match-result cache.
+	// Planning never changes the served subgraphs; only stats accounting
+	// (the BallsSkipped/BallsExamined split) reflects the pruned work. The
+	// zero value keeps the historical execution byte for byte.
+	Planner *plan.Planner
 }
 
 // PlusQuery returns the Match+ configuration: every optimization enabled.
@@ -186,6 +194,19 @@ func (e *Engine) prepare(ctx context.Context, q *graph.Graph, opts QueryOptions)
 		return nil, err
 	}
 	p.centers = centerSet.Slice()
+	if opts.Planner != nil && len(p.centers) > 0 {
+		// Candidate pruning: every filter is a necessary condition for a
+		// ball match, so dropped centers could not have contributed a
+		// subgraph; they surface as skipped balls in the stats.
+		var pst plan.PruneStats
+		p.centers = e.snap.PruneIndex().Prune(p.qEff, p.radius, p.centers, &pst)
+		plan.CountPruned(pst)
+		if tr != nil {
+			tr.PlanCandidatesBefore = pst.Before
+			tr.PlanPrunedSignature = pst.PrunedSignature
+			tr.PlanPrunedDegree = pst.PrunedDegree
+		}
+	}
 	p.stats.BallsSkipped = g.NumNodes() - len(p.centers)
 	if tr != nil {
 		tr.Filter = time.Since(start)
@@ -316,13 +337,28 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	if opts.Limit > 0 {
 		return e.matchLimited(ctx, q, opts)
 	}
+	cc := e.planLookup(q, opts) // nil when the query cannot use the cache
+	if cc != nil && cc.hit != nil {
+		return e.serveHit(cc, opts.Trace), nil
+	}
 	p, err := e.prepare(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	res := &core.Result{Stats: p.stats}
 	if p.done {
+		// Q ⊀D G has no matches at any center; the empty entry still
+		// serves exact repeats and bounds contained queries to nothing.
+		cc.store(e, q, nil, nil, res)
 		return res, nil
+	}
+	if cc != nil && cc.restrict != nil {
+		// Refresh or containment hit: only the listed centers can (still)
+		// produce a new outcome; everything else is either retained from
+		// the cached entry or provably unmatched.
+		kept := intersectSorted(p.centers, cc.restrict)
+		res.Stats.BallsSkipped += len(p.centers) - len(kept)
+		p.centers = kept
 	}
 
 	// Collect per center, then dedup in center order so duplicate subgraphs
@@ -351,12 +387,31 @@ func (e *Engine) Match(ctx context.Context, q *graph.Graph, opts QueryOptions) (
 	tr.EnterStage(obs.StageMerge)
 	mergeSp := tr.StartSpan("merge")
 
-	res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
-	core.SortSubgraphs(res.Subgraphs)
-	if opts.MinimizeQuery {
-		for _, ps := range res.Subgraphs {
-			core.ExpandRelation(ps, q, p.classOf)
+	if cc == nil {
+		res.Subgraphs = core.DedupSubgraphs(out, &res.Stats)
+		core.SortSubgraphs(res.Subgraphs)
+		if opts.MinimizeQuery {
+			for _, ps := range res.Subgraphs {
+				core.ExpandRelation(ps, q, p.classOf)
+			}
 		}
+	} else {
+		// Cached path: the cache stores pre-dedup per-center outcomes —
+		// later repairs can promote a duplicate to a survivor — so every
+		// outcome is expanded before assembly, not just the survivors.
+		// Dedup and ordering read only (Nodes, Edges), never the relation,
+		// so the served subgraphs are byte-identical either way.
+		if opts.MinimizeQuery {
+			for _, ps := range out {
+				if ps != nil {
+					core.ExpandRelation(ps, q, p.classOf)
+				}
+			}
+		}
+		centers, outcomes := cc.merge(p.centers, out)
+		res.Subgraphs = core.DedupSubgraphs(outcomes, &res.Stats)
+		core.SortSubgraphs(res.Subgraphs)
+		cc.store(e, q, centers, outcomes, res)
 	}
 	if tr != nil {
 		tr.Merge = time.Since(mergeStart)

@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// cacheCtx is the per-query cache plan of one planned Match: the key and
+// version it will be stored under, and — depending on the lookup outcome —
+// either a clean entry to serve directly (hit), the center restriction plus
+// retained outcomes of a repair (refresh), or the center restriction of a
+// containment hit. nil when the query cannot use the cache (no planner,
+// cache disabled, Limit set, invalid pattern).
+type cacheCtx struct {
+	cache   *plan.Cache
+	key     string
+	perm    []int32 // query node -> canonical position
+	radius  int
+	version uint64
+	outcome string
+
+	// hit is set for a clean exact-key entry: serve by remapping, no
+	// evaluation at all.
+	hit *plan.Cached
+	// restrict, when non-nil, limits ball evaluation to these centers
+	// (ascending): the pending dirty centers of a refresh, or the cached
+	// outcome centers of a containment hit. Non-nil but empty means
+	// "evaluate nothing" (a refresh whose radius saw no dirty centers).
+	restrict []int32
+	// retainC/retainO are the still-valid outcomes carried over from the
+	// stale entry of a refresh, ascending and disjoint from restrict.
+	retainC []int32
+	retainO []*core.PerfectSubgraph
+}
+
+// planLookup consults the planner's result cache for one Match execution.
+// Pattern validation failures return nil so the normal path reports its
+// usual errors; the caller must already have routed Limit > 0 elsewhere.
+func (e *Engine) planLookup(q *graph.Graph, opts QueryOptions) *cacheCtx {
+	c := opts.Planner.Cache()
+	if c == nil || q == nil || q.NumNodes() == 0 {
+		return nil
+	}
+	dq, connected := graph.Diameter(q)
+	if !connected {
+		return nil
+	}
+	radius := opts.Radius
+	if radius <= 0 {
+		radius = dq
+	}
+	canon, perm := plan.Canon(q)
+	mode := 0
+	if opts.MinimizeQuery {
+		mode |= 1
+	}
+	if opts.DualFilter {
+		mode |= 2
+	}
+	if opts.ConnectivityPruning {
+		mode |= 4
+	}
+	cc := &cacheCtx{
+		cache:   c,
+		key:     plan.CacheKey(canon, radius, mode),
+		perm:    perm,
+		radius:  radius,
+		version: e.snap.Version(),
+	}
+	cached, outcome := c.Get(cc.key, cc.version)
+	cc.outcome = outcome
+	switch outcome {
+	case plan.OutcomeHit:
+		cc.hit = cached
+	case plan.OutcomeRefresh:
+		cc.restrict = cached.Pending
+		if cc.restrict == nil {
+			// The entry predates this version but no update touched its
+			// radius: nothing to re-evaluate, everything to retain.
+			cc.restrict = []int32{}
+		}
+		mapTo, identity := cc.mapTo(cached)
+		cc.retainC, cc.retainO = retainOutcomes(cached, mapTo, identity)
+	default:
+		// Exact key missed; a cached superset query may still bound the
+		// evaluation. Containment works across modes: the per-center match
+		// outcome is mode-independent (Match+ is result-preserving ball by
+		// ball), so any clean entry's center set is a valid superset.
+		if cs := c.FindContaining(q, radius, cc.version); cs != nil {
+			cc.outcome = plan.OutcomeContained
+			cc.restrict = cs.Centers
+		} else {
+			c.NoteMiss()
+		}
+	}
+	if tr := opts.Trace; tr != nil {
+		tr.PlanCacheOutcome = cc.outcome
+	}
+	return cc
+}
+
+// mapTo composes the query's canonical perm with the cached entry's
+// inverse: mapTo[u] is the cached-pattern node playing query node u's
+// role. identity reports the common case of equal numbering, where cached
+// subgraphs can be shared without copying.
+func (cc *cacheCtx) mapTo(c *plan.Cached) ([]int32, bool) {
+	m := make([]int32, len(cc.perm))
+	identity := true
+	for u := range m {
+		m[u] = c.InvPerm[cc.perm[u]]
+		if m[u] != int32(u) {
+			identity = false
+		}
+	}
+	return m, identity
+}
+
+// serveHit answers a clean cache hit in O(result): shared subgraphs when
+// the query's numbering equals the cached pattern's, otherwise one fresh
+// PerfectSubgraph per match with the relation keys translated (node and
+// edge slices are always shared — they are data-side and read-only).
+func (e *Engine) serveHit(cc *cacheCtx, tr *obs.QueryStats) *core.Result {
+	tr.EnterStage(obs.StageMerge) // nil-safe
+	sp := tr.StartSpan("plan.hit")
+	start := time.Now()
+	hit := cc.hit
+	mapTo, identity := cc.mapTo(hit)
+	res := &core.Result{Stats: hit.Result.Stats}
+	if identity {
+		res.Subgraphs = hit.Result.Subgraphs
+	} else {
+		res.Subgraphs = make([]*core.PerfectSubgraph, 0, len(hit.Result.Subgraphs))
+		for _, ps := range hit.Result.Subgraphs {
+			res.Subgraphs = append(res.Subgraphs, remapSubgraph(ps, mapTo))
+		}
+	}
+	if tr != nil {
+		tr.Merge = time.Since(start)
+	}
+	if sp.Recording() {
+		sp.End(obs.Attr{Key: "matches", Value: int64(len(res.Subgraphs))})
+	}
+	return res
+}
+
+// remapSubgraph translates a cached subgraph's relation to the query's
+// pattern numbering. Center, node and edge data are shared; only the Rel
+// map is rebuilt.
+func remapSubgraph(ps *core.PerfectSubgraph, mapTo []int32) *core.PerfectSubgraph {
+	rel := make(map[int32][]int32, len(mapTo))
+	for u, cu := range mapTo {
+		if m, ok := ps.Rel[cu]; ok {
+			rel[int32(u)] = m
+		}
+	}
+	return &core.PerfectSubgraph{Center: ps.Center, Nodes: ps.Nodes, Edges: ps.Edges, Rel: rel}
+}
+
+// retainOutcomes filters a stale entry's outcomes down to centers not in
+// its pending set — outcomes provably unchanged by the updates since the
+// entry's version (an unmarked center's ball is identical in both graphs)
+// — remapping relations to the current query's numbering when it differs.
+func retainOutcomes(c *plan.Cached, mapTo []int32, identity bool) ([]int32, []*core.PerfectSubgraph) {
+	centers := make([]int32, 0, len(c.Centers))
+	outs := make([]*core.PerfectSubgraph, 0, len(c.Centers))
+	j := 0
+	for i, ctr := range c.Centers {
+		for j < len(c.Pending) && c.Pending[j] < ctr {
+			j++
+		}
+		if j < len(c.Pending) && c.Pending[j] == ctr {
+			continue // stale; re-evaluation decides its fate
+		}
+		ps := c.Outcomes[i]
+		if !identity {
+			ps = remapSubgraph(ps, mapTo)
+		}
+		centers = append(centers, ctr)
+		outs = append(outs, ps)
+	}
+	return centers, outs
+}
+
+// merge interleaves retained outcomes with freshly evaluated ones into
+// ascending-center arrays (nil evaluation slots dropped). The two sources
+// are disjoint: retained centers were excluded from restrict.
+func (cc *cacheCtx) merge(centers []int32, out []*core.PerfectSubgraph) ([]int32, []*core.PerfectSubgraph) {
+	n := len(cc.retainC)
+	for _, ps := range out {
+		if ps != nil {
+			n++
+		}
+	}
+	mc := make([]int32, 0, n)
+	mo := make([]*core.PerfectSubgraph, 0, n)
+	i := 0
+	for j, ps := range out {
+		if ps == nil {
+			continue
+		}
+		for i < len(cc.retainC) && cc.retainC[i] < centers[j] {
+			mc = append(mc, cc.retainC[i])
+			mo = append(mo, cc.retainO[i])
+			i++
+		}
+		mc = append(mc, centers[j])
+		mo = append(mo, ps)
+	}
+	for ; i < len(cc.retainC); i++ {
+		mc = append(mc, cc.retainC[i])
+		mo = append(mo, cc.retainO[i])
+	}
+	return mc, mo
+}
+
+// store caches a completed execution under the query's key. Nil-safe so
+// Match can call it unconditionally on planned paths.
+func (cc *cacheCtx) store(e *Engine, q *graph.Graph,
+	centers []int32, outcomes []*core.PerfectSubgraph, res *core.Result) {
+	if cc == nil {
+		return
+	}
+	inv := make([]int32, len(cc.perm))
+	for u, p := range cc.perm {
+		inv[p] = int32(u)
+	}
+	cc.cache.Put(cc.key, q, inv, cc.radius, cc.version,
+		e.snap.g.NumNodes(), centers, outcomes, res)
+}
+
+// intersectSorted keeps the elements of a (ascending) also present in b
+// (ascending), in place.
+func intersectSorted(a, b []int32) []int32 {
+	w, j := 0, 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			a[w] = x
+			w++
+		}
+	}
+	return a[:w]
+}

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// planned returns opts with a planner attached and a trace to read the
+// cache outcome from.
+func planned(opts QueryOptions, p *plan.Planner, tr *obs.QueryStats) QueryOptions {
+	opts.Planner = p
+	opts.Trace = tr
+	return opts
+}
+
+// TestPlannerParityProperty is the planner's correctness bar: across graph
+// sizes, densities, radii and both query modes, a planner-on Match answers
+// byte-identically to the planner-off engine — on the cache-miss first run
+// AND on the cache-hit repeat.
+func TestPlannerParityProperty(t *testing.T) {
+	for _, n := range []int{60, 200, 400} {
+		for _, alpha := range []float64{0.8, 1.2, 2.0} {
+			if n == 400 && alpha == 0.8 {
+				continue // densest large combo adds ~10s for no extra coverage
+			}
+			g := generator.Synthetic(n, alpha, 8, int64(n)+int64(alpha*10))
+			e := New(g, Config{Workers: 2})
+			q := generator.SamplePattern(g, generator.PatternOptions{Nodes: 4, Alpha: alpha, Seed: int64(n)})
+			if q.NumNodes() == 0 {
+				t.Fatalf("n=%d alpha=%.1f: empty pattern", n, alpha)
+			}
+			radii := []int{0, 1, 2}
+			if n == 400 {
+				radii = []int{0, 1} // radius-2 balls on the large graphs dominate runtime
+			}
+			for _, radius := range radii {
+				for _, mode := range []struct {
+					name string
+					opts QueryOptions
+				}{
+					{"plain", QueryOptions{Radius: radius}},
+					{"plus", func() QueryOptions { o := PlusQuery(); o.Radius = radius; return o }()},
+				} {
+					want := mustMatch(t, e, q, mode.opts)
+					p := plan.NewPlanner(plan.Config{})
+
+					var tr1 obs.QueryStats
+					miss := mustMatch(t, e, q, planned(mode.opts, p, &tr1))
+					if !reflect.DeepEqual(want.Subgraphs, miss.Subgraphs) {
+						t.Fatalf("n=%d alpha=%.1f r=%d %s: miss-path subgraphs differ", n, alpha, radius, mode.name)
+					}
+					if tr1.PlanCacheOutcome != plan.OutcomeMiss {
+						t.Fatalf("first run outcome = %q", tr1.PlanCacheOutcome)
+					}
+
+					var tr2 obs.QueryStats
+					hit := mustMatch(t, e, q, planned(mode.opts, p, &tr2))
+					if !reflect.DeepEqual(want.Subgraphs, hit.Subgraphs) {
+						t.Fatalf("n=%d alpha=%.1f r=%d %s: hit-path subgraphs differ", n, alpha, radius, mode.name)
+					}
+					if tr2.PlanCacheOutcome != plan.OutcomeHit {
+						t.Fatalf("second run outcome = %q, want hit", tr2.PlanCacheOutcome)
+					}
+					if tr2.PlanCandidatesBefore != 0 {
+						t.Fatalf("hit path ran the prefilter (before=%d)", tr2.PlanCandidatesBefore)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerIsomorphicHit: an isomorphic pattern under a different node
+// numbering must hit the same entry and come back renumbered for the new
+// query, byte-identical to evaluating it directly.
+func TestPlannerIsomorphicHit(t *testing.T) {
+	labels := graph.NewLabels()
+	g := graph.MustParse(`
+node d0 A
+node d1 B
+node d2 C
+node d3 A
+node d4 B
+node d5 C
+node d6 B
+edge d0 d1
+edge d1 d2
+edge d3 d4
+edge d4 d5
+edge d0 d6
+edge d6 d2
+`, labels)
+	e := New(g, Config{Workers: 2})
+	q1 := graph.MustParse("node a A\nnode b B\nnode c C\nedge a b\nedge b c", labels)
+	q2 := graph.MustParse("node c C\nnode b B\nnode a A\nedge a b\nedge b c", labels)
+
+	p := plan.NewPlanner(plan.Config{})
+	mustMatch(t, e, q1, planned(QueryOptions{}, p, nil))
+
+	want := mustMatch(t, e, q2, QueryOptions{})
+	var tr obs.QueryStats
+	got := mustMatch(t, e, q2, planned(QueryOptions{}, p, &tr))
+	if tr.PlanCacheOutcome != plan.OutcomeHit {
+		t.Fatalf("isomorphic query outcome = %q, want hit", tr.PlanCacheOutcome)
+	}
+	if !reflect.DeepEqual(want.Subgraphs, got.Subgraphs) {
+		t.Fatalf("remapped hit differs from direct evaluation:\nwant %+v\ngot  %+v", want.Subgraphs, got.Subgraphs)
+	}
+}
+
+// TestPlannerContainedParity: an exact-key miss whose pattern is contained
+// in a cached one evaluates only inside the cached centers — and still
+// answers byte-identically.
+func TestPlannerContainedParity(t *testing.T) {
+	labels := graph.NewLabels()
+	// Several A->B sites, one of which also hosts the two-source shape, plus
+	// label-matching noise that pruning and containment must not misjudge.
+	g := graph.MustParse(`
+node d0 A
+node d1 B
+node d2 A
+node d3 A
+node d4 B
+node d5 A
+node d6 B
+node d7 C
+edge d0 d1
+edge d2 d1
+edge d3 d4
+edge d5 d6
+edge d6 d7
+edge d7 d5
+`, labels)
+	e := New(g, Config{Workers: 2})
+	qBig := graph.MustParse("node a1 A\nnode b B\nnode a2 A\nedge a1 b\nedge a2 b", labels)
+	qSmall := graph.MustParse("node a A\nnode b B\nedge a b", labels)
+
+	for _, mode := range []struct {
+		name string
+		opts QueryOptions
+	}{
+		{"plain", QueryOptions{}},
+		{"plus", PlusQuery()},
+	} {
+		p := plan.NewPlanner(plan.Config{})
+		var trBig obs.QueryStats
+		// Pin both executions to the same radius: containment requires the
+		// cached radius to subsume the query's, and the two diameters differ.
+		optsBig := mode.opts
+		optsBig.Radius = 2
+		mustMatch(t, e, qBig, planned(optsBig, p, &trBig))
+		if trBig.PlanCacheOutcome != plan.OutcomeMiss {
+			t.Fatalf("%s: warm run outcome = %q", mode.name, trBig.PlanCacheOutcome)
+		}
+
+		optsSmall := mode.opts
+		optsSmall.Radius = 1
+		want := mustMatch(t, e, qSmall, optsSmall)
+		var tr obs.QueryStats
+		got := mustMatch(t, e, qSmall, planned(optsSmall, p, &tr))
+		if tr.PlanCacheOutcome != plan.OutcomeContained {
+			t.Fatalf("%s: contained query outcome = %q", mode.name, tr.PlanCacheOutcome)
+		}
+		if !reflect.DeepEqual(want.Subgraphs, got.Subgraphs) {
+			t.Fatalf("%s: contained-path subgraphs differ", mode.name)
+		}
+		if len(want.Subgraphs) == 0 {
+			t.Fatalf("%s: degenerate test — the contained query found nothing", mode.name)
+		}
+	}
+}
+
+// TestPlannerRefreshParity drives the repair path the way a live store
+// does: bump the snapshot version, invalidate with a dirty-center set, and
+// require the refreshed answer to equal a from-scratch evaluation.
+func TestPlannerRefreshParity(t *testing.T) {
+	q, g := testWorkload(t, 300, 11)
+	e := New(g, Config{Workers: 2})
+	e.Snapshot().SetVersion(1)
+	want := mustMatch(t, e, q, QueryOptions{})
+
+	dirtySets := [][]int32{
+		nil,                  // version gap, nothing dirty: pure retain
+		{0, 1, 2, 3, 4, 150}, // partial repair
+		func() []int32 { // a third of the graph: heavy repair, below the drop bound
+			var many []int32
+			for i := int32(0); i < int32(g.NumNodes()); i += 3 {
+				many = append(many, i)
+			}
+			return many
+		}(),
+	}
+	for i, dirty := range dirtySets {
+		p := plan.NewPlanner(plan.Config{})
+		e.Snapshot().SetVersion(1)
+		mustMatch(t, e, q, planned(QueryOptions{}, p, nil))
+
+		// The graph itself is unchanged — refresh parity is about the repair
+		// machinery (retain + re-evaluate + merge) reproducing the answer,
+		// whatever subset it is told to redo.
+		p.Invalidate(2, func(radius int) []int32 { return dirty })
+		e.Snapshot().SetVersion(2)
+
+		var tr obs.QueryStats
+		got := mustMatch(t, e, q, planned(QueryOptions{}, p, &tr))
+		if tr.PlanCacheOutcome != plan.OutcomeRefresh {
+			t.Fatalf("dirty set %d: outcome = %q, want refresh", i, tr.PlanCacheOutcome)
+		}
+		if !reflect.DeepEqual(want.Subgraphs, got.Subgraphs) {
+			t.Fatalf("dirty set %d: refreshed subgraphs differ", i)
+		}
+
+		// The repaired entry is clean again: the next lookup is a hit.
+		var tr2 obs.QueryStats
+		got2 := mustMatch(t, e, q, planned(QueryOptions{}, p, &tr2))
+		if tr2.PlanCacheOutcome != plan.OutcomeHit {
+			t.Fatalf("dirty set %d: post-repair outcome = %q", i, tr2.PlanCacheOutcome)
+		}
+		if !reflect.DeepEqual(want.Subgraphs, got2.Subgraphs) {
+			t.Fatalf("dirty set %d: post-repair subgraphs differ", i)
+		}
+	}
+
+	// Dirtying more than half the graph makes repair pointless: the cache
+	// drops the entry and the next planned query is an honest miss.
+	p := plan.NewPlanner(plan.Config{})
+	e.Snapshot().SetVersion(1)
+	mustMatch(t, e, q, planned(QueryOptions{}, p, nil))
+	all := make([]int32, g.NumNodes())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	p.Invalidate(2, func(radius int) []int32 { return all })
+	e.Snapshot().SetVersion(2)
+	var tr obs.QueryStats
+	got := mustMatch(t, e, q, planned(QueryOptions{}, p, &tr))
+	if tr.PlanCacheOutcome != plan.OutcomeMiss {
+		t.Fatalf("fully dirty entry outcome = %q, want miss (dropped)", tr.PlanCacheOutcome)
+	}
+	if !reflect.DeepEqual(want.Subgraphs, got.Subgraphs) {
+		t.Fatal("post-drop subgraphs differ")
+	}
+}
+
+// TestPlannerEmptyResultCached: Q ⊀D G short-circuits store an (empty)
+// entry too — repeats must hit, not re-run the dual filter.
+func TestPlannerEmptyResultCached(t *testing.T) {
+	labels := graph.NewLabels()
+	g := graph.MustParse("node d0 A\nnode d1 B\nedge d0 d1", labels)
+	q := graph.MustParse("node a A\nnode b B\nnode c C\nedge a b\nedge b c", labels)
+	e := New(g, Config{Workers: 1})
+
+	p := plan.NewPlanner(plan.Config{})
+	opts := PlusQuery() // dual filter proves Q ⊀D G before any ball
+	first := mustMatch(t, e, q, planned(opts, p, nil))
+	if len(first.Subgraphs) != 0 {
+		t.Fatalf("expected no matches, got %d", len(first.Subgraphs))
+	}
+	var tr obs.QueryStats
+	second := mustMatch(t, e, q, planned(opts, p, &tr))
+	if tr.PlanCacheOutcome != plan.OutcomeHit {
+		t.Fatalf("empty-result repeat outcome = %q", tr.PlanCacheOutcome)
+	}
+	if len(second.Subgraphs) != 0 {
+		t.Fatalf("cached empty result grew %d subgraphs", len(second.Subgraphs))
+	}
+}
+
+// TestPlannerAllocs bounds the planner's allocation overhead, in the style
+// of the exec and graph scratch guards:
+//
+//   - hit path: O(result) — a cached answer must not allocate per ball or
+//     per graph node, only the constant lookup machinery (canon, key,
+//     result envelope).
+//   - miss path: pruning plus store add O(pattern + result) on top of the
+//     planner-off execution — nothing that scales with the evaluated balls.
+func TestPlannerAllocs(t *testing.T) {
+	q, g := testWorkload(t, 800, 7)
+	e := New(g, Config{Workers: 1})
+	ctx := context.Background()
+	opts := QueryOptions{}
+
+	run := func(o QueryOptions) *core.Result {
+		res, err := e.Match(ctx, q, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Warm snapshot-level lazies (label index, prune index, ball arenas) so
+	// they don't bill the measured runs.
+	warmPlanner := plan.NewPlanner(plan.Config{})
+	for i := 0; i < 50; i++ {
+		run(opts)
+		run(planned(opts, warmPlanner, nil))
+	}
+
+	base := testing.AllocsPerRun(100, func() { run(opts) })
+
+	hitPlanner := plan.NewPlanner(plan.Config{})
+	run(planned(opts, hitPlanner, nil))
+	hit := testing.AllocsPerRun(100, func() { run(planned(opts, hitPlanner, nil)) })
+
+	miss := testing.AllocsPerRun(100, func() {
+		run(planned(opts, plan.NewPlanner(plan.Config{}), nil))
+	})
+
+	t.Logf("allocs/op: base=%.0f miss=%.0f hit=%.0f", base, miss, hit)
+	// The planner-off run allocates per evaluated ball, so it dwarfs the
+	// lookup constant; a hit that allocated per ball would blow this bound.
+	if hit > 120 {
+		t.Errorf("cache hit allocates %.0f/op, want O(result) (≤ 120)", hit)
+	}
+	if base > 100 && hit > base/4 {
+		t.Errorf("cache hit allocates %.0f/op vs %.0f planner-off — not O(result)", hit, base)
+	}
+	// The miss path re-runs the full evaluation plus canon/store overhead.
+	// The overhead is constant-ish in the ball count; pruning can only
+	// remove per-ball allocations, so a generous constant catches any
+	// per-ball regression.
+	if miss > base+150 {
+		t.Errorf("cache miss allocates %.0f/op vs %.0f planner-off — per-ball overhead crept in", miss, base)
+	}
+}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/plan"
 )
 
 // Snapshot is a query-ready view of one immutable data graph: the graph
@@ -24,8 +26,18 @@ import (
 type Snapshot struct {
 	g *graph.Graph
 
+	// version is the live-store version this snapshot was published as; 0
+	// for standalone immutable graphs. The query planner keys cached match
+	// results by it.
+	version atomic.Uint64
+
 	mu    sync.RWMutex
 	balls map[int][]*graph.Ball // radius -> balls indexed by center
+
+	// planIdx is the candidate-pruning index over g, built lazily on the
+	// first planned query so unplanned deployments pay nothing.
+	planOnce sync.Once
+	planIdx  *plan.Index
 }
 
 // NewSnapshot prepares g for querying.
@@ -35,6 +47,24 @@ func NewSnapshot(g *graph.Graph) *Snapshot {
 
 // Graph returns the underlying data graph.
 func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// SetVersion stamps the live-store version this snapshot belongs to.
+// internal/live calls it once at publication, before the version becomes
+// visible to queries; immutable deployments leave the zero value.
+func (s *Snapshot) SetVersion(v uint64) { s.version.Store(v) }
+
+// Version returns the live-store version of this snapshot (0 when the
+// graph is not backed by a live store).
+func (s *Snapshot) Version() uint64 { return s.version.Load() }
+
+// PruneIndex returns the snapshot's candidate-pruning index, building it
+// on first use (O(V+E); per-radius hop signatures are materialized lazily
+// inside the index). The index is immutable alongside the graph and shared
+// by every planned query against this snapshot.
+func (s *Snapshot) PruneIndex() *plan.Index {
+	s.planOnce.Do(func() { s.planIdx = plan.NewIndex(s.g) })
+	return s.planIdx
+}
 
 // ParsePattern parses a pattern graph in the text format of internal/graph
 // against a private copy of the snapshot's label table. Labels the data

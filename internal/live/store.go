@@ -45,6 +45,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/incremental"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // Store metrics, registered into the process-wide registry. A process
@@ -178,6 +179,12 @@ type Store struct {
 	// Lock ordering: mu before qmu, never the reverse.
 	qmu     sync.RWMutex
 	queries map[int64]*StandingQuery
+
+	// planner is the query planner shared by every published version: the
+	// match-result cache spans versions (entries are version-stamped and
+	// invalidated surgically by Apply), while pruning indexes live on each
+	// version's snapshot.
+	planner *plan.Planner
 }
 
 // NewStore wraps an initial graph as version 0 of a mutable store. The
@@ -198,6 +205,7 @@ func NewStore(g *graph.Graph, cfg Config) *Store {
 		byLabel:   make(map[int32][]int32, g.Labels().Len()),
 		numEdges:  g.NumEdges(),
 		queries:   make(map[int64]*StandingQuery),
+		planner:   plan.NewPlanner(plan.Config{}),
 	}
 	for v := int32(0); v < int32(n); v++ {
 		s.nodeLbl[v] = g.Label(v)
@@ -222,6 +230,12 @@ func (s *Store) Current() *Version { return s.current.Load() }
 // Engine returns the latest version's query engine (the provider
 // api.NewDynamicServer wants).
 func (s *Store) Engine() *engine.Engine { return s.Current().Engine() }
+
+// Planner returns the store's query planner, for the serving layer to hand
+// to engine.QueryOptions.Planner. The store keeps its result cache valid
+// across versions: every update batch marks the dirty centers of each
+// cached entry pending before the new version becomes visible.
+func (s *Store) Planner() *plan.Planner { return s.planner }
 
 // batchState is the copy-on-write working state of one Apply call. Nothing
 // in it is visible to readers until publish; abandoning it on error leaves
@@ -513,12 +527,28 @@ func (s *Store) ApplyTraced(muts []Mutation, parent obs.Span) (*UpdateResult, er
 		}
 	}
 
-	// Commit the working state and publish the new version.
+	// Commit the working state, invalidate cached plans, then publish. The
+	// dirty-center BFS depends only on the radius; one memoized traversal
+	// serves both cache invalidation and standing-query maintenance.
 	s.nodeLbl = b.nodeLbl
 	s.out = b.out
 	s.in = b.in
 	s.byLabel = b.byLabel
 	s.numEdges = b.numEdges
+	dirtyByRadius := make(map[int][]int32)
+	dirtyFor := func(radius int) []int32 {
+		dirty, ok := dirtyByRadius[radius]
+		if !ok {
+			dirty = s.dirtyCenters(b.seeds, radius, oldOut, oldIn)
+			dirtyByRadius[radius] = dirty
+		}
+		return dirty
+	}
+	// Invalidation must complete before the version swap: a query resolving
+	// the new version must never find a cache entry the batch has not yet
+	// marked. (Queries on older versions are unaffected either way — Get
+	// refuses entries newer than the query's version.)
+	s.planner.Invalidate(s.current.Load().id+1, dirtyFor)
 	ver := s.publishLocked()
 	liveBatches.Inc()
 	liveMutations.Add(int64(len(muts)))
@@ -544,16 +574,9 @@ func (s *Store) ApplyTraced(muts []Mutation, parent obs.Span) (*UpdateResult, er
 		Edges:      s.numEdges,
 	}
 	// A query unregistered concurrently may still be maintained once here;
-	// harmless, since nothing reads it afterwards. The dirty-center BFS
-	// depends only on the radius, so queries sharing a pattern diameter
-	// (the common case) share one traversal.
-	dirtyByRadius := make(map[int][]int32)
+	// harmless, since nothing reads it afterwards.
 	for _, sq := range standing {
-		dirty, ok := dirtyByRadius[sq.radius]
-		if !ok {
-			dirty = s.dirtyCenters(b.seeds, sq.radius, oldOut, oldIn)
-			dirtyByRadius[sq.radius] = dirty
-		}
+		dirty := dirtyFor(sq.radius)
 		msp := parent.StartChild("live.maintain")
 		n := s.maintainLocked(sq, ver, dirty)
 		res.Recomputed[sq.id] = n
@@ -583,6 +606,7 @@ func (s *Store) publishLocked() *Version {
 	g := graph.FromParts(s.frozen, s.nodeLbl, s.out, s.in, s.byLabel,
 		s.numEdges, fmt.Sprintf("%s@v%d", name, prev.id+1))
 	ver := &Version{id: prev.id + 1, eng: engine.New(g, engine.Config{Workers: s.workers})}
+	ver.eng.Snapshot().SetVersion(ver.id)
 	s.current.Store(ver)
 	liveVersion.Set(int64(ver.id))
 	return ver

@@ -114,6 +114,18 @@ type QueryStats struct {
 	Eval    time.Duration
 	Merge   time.Duration
 
+	// Planner accounting, filled only on planned queries
+	// (engine.QueryOptions.Planner set). PlanCandidatesBefore is the center
+	// count entering the pruning filters; PlanPrunedSignature and
+	// PlanPrunedDegree split the centers each filter removed.
+	// PlanCacheOutcome is the result-cache outcome of an unlimited Match
+	// ("hit", "refresh", "contained", "miss"), empty when the cache was not
+	// consulted.
+	PlanCandidatesBefore int
+	PlanPrunedSignature  int
+	PlanPrunedDegree     int
+	PlanCacheOutcome     string
+
 	// Progress, when non-nil, additionally receives live atomic updates —
 	// stage transitions and a per-ball counter — readable from other
 	// goroutines while the query runs. The flight recorder attaches one in

@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// maxHopSig bounds how many hop-signature levels an Index materializes.
+// A level costs 8 bytes per node and one O(E) sweep; realistic pattern
+// diameters are 1-4. Queries with a larger effective radius simply skip
+// the signature filter — soundness never depends on having a level.
+const maxHopSig = 6
+
+// LabelBit maps a label id to its bit in a 64-bit Bloom signature. The
+// same folding as TALE's NH-index (internal/approx), shared here so the
+// exact and approximate paths agree on signature semantics.
+func LabelBit(label int32) uint64 { return 1 << (uint32(label) % 64) }
+
+// Index holds the per-snapshot candidate-pruning indexes: one-hop
+// directed neighbor-label signatures plus degrees (built eagerly, O(V+E)),
+// and r-hop undirected label signatures built lazily per requested radius.
+// An Index is immutable after construction except for the lazily grown
+// hop levels, which are guarded; it is safe for concurrent queries.
+//
+// Every filter is a necessary condition for a center's ball to contain a
+// match (see Prune), so pruning with stale requirements is impossible by
+// construction: the Index is built from one immutable graph and lives
+// exactly as long as that graph's Snapshot.
+type Index struct {
+	g *graph.Graph
+
+	// outSig[v] / inSig[v] Bloom-summarize the labels of v's out-/in-
+	// neighbors; used by the degree/label-pair filter.
+	outSig, inSig []uint64
+
+	// hop[k][v] Bloom-summarizes every label within k undirected hops of
+	// v (hop[0] is v's own label). Grown on demand under mu.
+	mu  sync.Mutex
+	hop [][]uint64
+}
+
+// NewIndex builds the one-hop indexes for g. The r-hop signatures are
+// materialized on first use per radius.
+func NewIndex(g *graph.Graph) *Index {
+	n := g.NumNodes()
+	ix := &Index{g: g, outSig: make([]uint64, n), inSig: make([]uint64, n)}
+	own := make([]uint64, n)
+	for v := int32(0); v < int32(n); v++ {
+		own[v] = LabelBit(g.Label(v))
+	}
+	for v := int32(0); v < int32(n); v++ {
+		var o, i uint64
+		for _, w := range g.Out(v) {
+			o |= own[w]
+		}
+		for _, w := range g.In(v) {
+			i |= own[w]
+		}
+		ix.outSig[v], ix.inSig[v] = o, i
+	}
+	ix.hop = [][]uint64{own}
+	indexBuilds.Inc()
+	return ix
+}
+
+// Graph returns the data graph this index describes.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// hopSig returns the r-hop label signatures, building missing levels by
+// iterated undirected OR (each level is one O(V+E) sweep). Returns nil
+// when r exceeds maxHopSig — a smaller-radius signature would prune
+// unsoundly, so callers skip the filter instead.
+func (ix *Index) hopSig(r int) []uint64 {
+	if r < 0 {
+		r = 0
+	}
+	if r > maxHopSig {
+		return nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for len(ix.hop) <= r {
+		prev := ix.hop[len(ix.hop)-1]
+		next := make([]uint64, len(prev))
+		g := ix.g
+		for v := int32(0); v < int32(len(prev)); v++ {
+			s := prev[v]
+			for _, w := range g.Out(v) {
+				s |= prev[w]
+			}
+			for _, w := range g.In(v) {
+				s |= prev[w]
+			}
+			next[v] = s
+		}
+		ix.hop = append(ix.hop, next)
+	}
+	return ix.hop[r]
+}
+
+// PruneStats reports one Prune call: the candidate count walking in and
+// how many centers each filter removed.
+type PruneStats struct {
+	Before          int
+	PrunedSignature int
+	PrunedDegree    int
+}
+
+// labelReq is the per-pattern-label requirement of the degree/label-pair
+// filter: to host some pattern node with this label, a center must have at
+// least MinOut distinct out-neighbors covering OutSig's label set (and
+// likewise inbound). Only label-set conditions are used — dual simulation
+// maps many pattern nodes to one data node, so multiset counts would
+// over-prune — but nodes of distinct labels are necessarily distinct, so
+// the distinct-successor-label count is a sound degree lower bound.
+type labelReq struct {
+	label         int32
+	outSig, inSig uint64
+	minOut, minIn int32
+}
+
+// Prune filters centers in place against q at the given ball radius and
+// returns the surviving prefix. Both filters are necessary conditions:
+//
+//   - Signature: a match of Q in Ĝ[v, r] puts every pattern label within r
+//     undirected hops of v, so a pattern label bit missing from hop[r][v]
+//     proves no match. Bloom folding only admits extra centers, never
+//     drops a viable one.
+//
+//   - Degree/label-pair: the center must itself match some pattern node u
+//     with label(u) = label(v) (w ∈ Q(w) by Theorem 4.2's match definition
+//     — the center anchors the ball). Dual simulation then requires v to
+//     have a successor for every edge out of u; successors with distinct
+//     labels are distinct data nodes, and ball adjacency is a subset of
+//     full-graph adjacency, so v needs ≥ |distinct successor labels of u|
+//     out-neighbors whose label set covers u's successor labels (and the
+//     same inbound).
+//
+// Centers whose label matches no pattern node pass the degree filter
+// untouched (fail open); the caller's candidate selection should have
+// excluded them already.
+func (ix *Index) Prune(q *graph.Graph, radius int, centers []int32, st *PruneStats) []int32 {
+	st.Before = len(centers)
+	if len(centers) == 0 || q == nil || q.NumNodes() == 0 {
+		return centers
+	}
+
+	// Pattern-side requirements, grouped by label. Patterns are tiny, so a
+	// small slice with linear scans beats a map.
+	var qsig uint64
+	reqs := make([]labelReq, 0, q.NumNodes())
+	var distinct [16]int32 // scratch for distinct-neighbor-label counting
+	for u := int32(0); u < int32(q.NumNodes()); u++ {
+		qsig |= LabelBit(q.Label(u))
+		r := labelReq{label: q.Label(u)}
+		r.outSig, r.minOut = neighborLabelSet(q, q.Out(u), distinct[:0])
+		r.inSig, r.minIn = neighborLabelSet(q, q.In(u), distinct[:0])
+		reqs = append(reqs, r)
+	}
+
+	hop := ix.hopSig(radius)
+	g := ix.g
+	w := 0
+	for _, c := range centers {
+		if hop != nil && qsig&^hop[c] != 0 {
+			st.PrunedSignature++
+			continue
+		}
+		ok := false
+		matched := false
+		clbl := g.Label(c)
+		for i := range reqs {
+			r := &reqs[i]
+			if r.label != clbl {
+				continue
+			}
+			matched = true
+			if int32(g.OutDegree(c)) >= r.minOut && int32(g.InDegree(c)) >= r.minIn &&
+				r.outSig&^ix.outSig[c] == 0 && r.inSig&^ix.inSig[c] == 0 {
+				ok = true
+				break
+			}
+		}
+		if matched && !ok {
+			st.PrunedDegree++
+			continue
+		}
+		centers[w] = c
+		w++
+	}
+	candidatesBefore.Add(int64(st.Before))
+	prunedSignature.Add(int64(st.PrunedSignature))
+	prunedDegree.Add(int64(st.PrunedDegree))
+	return centers[:w]
+}
+
+// neighborLabelSet folds the labels of a pattern node's neighbor list into
+// a signature and counts the distinct labels among them. Labels beyond
+// scratch's capacity are not counted — undercounting only weakens the
+// degree lower bound (fail open), overcounting would prune unsoundly.
+func neighborLabelSet(q *graph.Graph, nbs []int32, scratch []int32) (sig uint64, distinct int32) {
+	seen := scratch
+	for _, w := range nbs {
+		lbl := q.Label(w)
+		sig |= LabelBit(lbl)
+		dup := false
+		for _, s := range seen {
+			if s == lbl {
+				dup = true
+				break
+			}
+		}
+		if !dup && len(seen) < cap(seen) {
+			seen = append(seen, lbl)
+			distinct++
+		}
+	}
+	return sig, distinct
+}

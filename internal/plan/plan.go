@@ -1,0 +1,124 @@
+// Package plan is the query-planning layer between the /v1 serving surface
+// and the execution engine: it shrinks the candidate-center set before any
+// ball is built, and answers repeated or contained queries from a
+// version-aware match-result cache.
+//
+// Two independent mechanisms, composed by the engine when
+// engine.QueryOptions.Planner is set:
+//
+//   - Candidate pruning (Index): per-snapshot neighborhood label signatures
+//     — the exact-path generalization of TALE's NH-index in internal/approx
+//     — plus degree and label-pair adjacency filters. Every filter is a
+//     necessary condition for a ball match, so pruning never changes
+//     results, only skips balls that provably cannot match.
+//
+//   - Result caching (Cache): completed Match results keyed by canonical
+//     pattern (Canon), effective radius and mode, storing the pre-dedup
+//     per-center outcomes alongside the assembled result. An exact hit is
+//     served by relation remapping in O(result). A query contained in a
+//     cached one (ContainedIn: surjective label-preserving homomorphism
+//     from the cached pattern onto the new one, radius subsumed) evaluates
+//     only inside the cached outcome centers. Live stores invalidate
+//     surgically: each update batch marks the ≤ radius-hop dirty centers
+//     (incremental.DirtyWithin, shared with standing-query maintenance) as
+//     pending on every entry, and the next exact-key lookup repairs just
+//     those centers instead of re-evaluating the graph.
+//
+// Correctness bar, relied on by the engine's tests: a planner-on query
+// answers byte-identically to a planner-off one on the same snapshot.
+package plan
+
+import "repro/internal/obs"
+
+// Planner metrics, registered into the process-wide registry and served on
+// /v1/metrics.
+var (
+	indexBuilds = obs.Default.Counter("plan_index_builds_total",
+		"candidate-pruning indexes built (one per snapshot that saw a planned query)")
+	candidatesBefore = obs.Default.Counter("plan_candidates_before_total",
+		"candidate centers entering the pruning filters")
+	prunedSignature = obs.Default.Counter("plan_pruned_signature_total",
+		"candidate centers pruned by the r-hop label signature filter")
+	prunedDegree = obs.Default.Counter("plan_pruned_degree_total",
+		"candidate centers pruned by the degree/label-pair filter")
+	candidatesPruned = obs.Default.Counter("plan_candidates_pruned_total",
+		"candidate centers pruned before ball construction (all filters)")
+	cacheHits = obs.Default.Counter("plan_cache_hits_total",
+		"match queries answered from a clean cached entry")
+	cacheContained = obs.Default.Counter("plan_cache_contained_hits_total",
+		"match queries evaluated only inside a containing cached entry's centers")
+	cacheRefreshes = obs.Default.Counter("plan_cache_refresh_total",
+		"stale cached entries repaired by re-evaluating pending dirty centers")
+	cacheMisses = obs.Default.Counter("plan_cache_misses_total",
+		"match queries evaluated from scratch (no usable cached entry)")
+	cacheEntries = obs.Default.Gauge("plan_cache_entries",
+		"match-result cache entries currently held")
+	cacheEvictions = obs.Default.Counter("plan_cache_evictions_total",
+		"cache entries evicted by the LRU capacity bound")
+	cacheInvalidated = obs.Default.Counter("plan_cache_invalidated_entries_total",
+		"entry invalidations: an update batch marked dirty centers pending on an entry")
+	cacheDropped = obs.Default.Counter("plan_cache_dropped_entries_total",
+		"entries dropped because accumulated dirty centers made repair pointless")
+	cacheRejected = obs.Default.Counter("plan_cache_rejected_stores_total",
+		"completed results not cached because a newer version was already invalidating")
+)
+
+// Config configures a Planner.
+type Config struct {
+	// CacheEntries bounds the match-result cache (LRU). 0 uses the default
+	// (128); negative disables caching entirely, leaving only candidate
+	// pruning — the right setting when the planner cannot observe every
+	// mutation of the underlying data (e.g. an engine provider the planner
+	// has no invalidation hook into).
+	CacheEntries int
+}
+
+// Planner is what a serving layer hands to engine.QueryOptions.Planner:
+// pruning is implied, caching depends on Config. One Planner is shared by
+// every query against the store it serves and is safe for concurrent use.
+type Planner struct {
+	cache *Cache // nil when caching is disabled
+}
+
+// NewPlanner builds a planner. See Config for the cache policy.
+func NewPlanner(cfg Config) *Planner {
+	n := cfg.CacheEntries
+	if n == 0 {
+		n = 128
+	}
+	p := &Planner{}
+	if n > 0 {
+		p.cache = newCache(n)
+	}
+	return p
+}
+
+// Cache returns the planner's result cache, nil when caching is disabled.
+func (p *Planner) Cache() *Cache {
+	if p == nil {
+		return nil
+	}
+	return p.cache
+}
+
+// Invalidate tells the cache that the given store version is about to be
+// published: dirtyFor(radius) must return, ascending, the centers whose
+// ≤ radius-hop neighborhoods the batch touched (under the pre- or
+// post-batch adjacency). Callers must invoke this BEFORE the new version
+// becomes visible to queries, so no query on the new version can observe
+// a not-yet-invalidated entry. A nil planner or disabled cache is a no-op.
+func (p *Planner) Invalidate(version uint64, dirtyFor func(radius int) []int32) {
+	if p == nil || p.cache == nil {
+		return
+	}
+	p.cache.invalidate(version, dirtyFor)
+}
+
+// CountPruned folds one query's pruning stats into the aggregate
+// plan_candidates_pruned_total counter (the per-filter counters are
+// incremented by Prune itself).
+func CountPruned(st PruneStats) {
+	if n := st.PrunedSignature + st.PrunedDegree; n > 0 {
+		candidatesPruned.Add(int64(n))
+	}
+}

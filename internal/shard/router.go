@@ -641,14 +641,16 @@ func (r *Router) checkQuery(req *api.MatchRequest) (int, *api.Error) {
 }
 
 // shardRequest strips a match request down to what shards evaluate: the
-// pattern, mode and radius. Ranking, limits and statistics are router-side
+// pattern, mode, radius and planner opt-out (each shard prunes and caches
+// against its own slice). Ranking, limits and statistics are router-side
 // concerns — a shard cannot cut to a global top-k or limit without seeing
 // the other shards' results.
 func shardRequest(req *api.MatchRequest) api.MatchRequest {
 	return api.MatchRequest{
 		Pattern:     req.Pattern,
 		PatternText: req.PatternText,
-		Query:       api.QuerySpec{Mode: req.Query.Mode, Radius: req.Query.Radius},
+		Query: api.QuerySpec{Mode: req.Query.Mode, Radius: req.Query.Radius,
+			NoPlan: req.Query.NoPlan},
 	}
 }
 
